@@ -1,0 +1,168 @@
+package avfda
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedStudy caches one default study for the facade tests.
+var sharedStudy *Study
+
+func study(t *testing.T) *Study {
+	t.Helper()
+	if sharedStudy == nil {
+		s, err := NewStudy(Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedStudy = s
+	}
+	return sharedStudy
+}
+
+func TestStudySummary(t *testing.T) {
+	s := study(t)
+	out := s.Summary()
+	for _, want := range []string{"disengagements", "tag accuracy", "ML/Design"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStudyAllArtifacts(t *testing.T) {
+	s := study(t)
+	checks := []struct {
+		name string
+		text string
+		err  error
+	}{
+		{"TableI", s.TableI(), nil},
+		{"TableIII", s.TableIII(), nil},
+		{"TableIV", s.TableIV(), nil},
+		{"TableV", s.TableV(), nil},
+		{"TableVI", s.TableVI(), nil},
+		{"Figure4", s.Figure4(), nil},
+		{"Figure6", s.Figure6(), nil},
+		{"Figure7", s.Figure7(), nil},
+		{"RoadContext", s.RoadContext(), nil},
+		{"WeatherContext", s.WeatherContext(), nil},
+		{"MilesBetween", s.MilesBetween(), nil},
+	}
+	for _, c := range checks {
+		if c.text == "" {
+			t.Errorf("%s empty", c.name)
+		}
+	}
+	for name, fn := range map[string]func() (string, error){
+		"TableVII": s.TableVII, "TableVIII": s.TableVIII,
+		"Figure5": s.Figure5, "Figure8": s.Figure8, "Figure9": s.Figure9,
+		"Figure10": s.Figure10, "Figure11": s.Figure11, "Figure12": s.Figure12,
+		"CaseStudies": s.CaseStudies, "MissionValidation": s.MissionValidation,
+		"Survival": s.Survival,
+	} {
+		out, err := fn()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if out == "" {
+			t.Errorf("%s empty", name)
+		}
+	}
+}
+
+func TestStudyDBAccess(t *testing.T) {
+	s := study(t)
+	if s.DB() == nil || len(s.DB().Events) == 0 {
+		t.Fatal("DB inaccessible")
+	}
+	if s.Result() == nil || s.Result().ParseReport == nil {
+		t.Fatal("Result inaccessible")
+	}
+}
+
+func TestPaperTotals(t *testing.T) {
+	miles, dis, acc, cars := PaperTotals()
+	if miles != 1116605 || dis != 5328 || acc != 42 || cars != 144 {
+		t.Errorf("PaperTotals = %v %v %v %v", miles, dis, acc, cars)
+	}
+}
+
+func TestClassifyCause(t *testing.T) {
+	tag, cat, err := ClassifyCause("Takeover-Request - watchdog error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != "Hang/Crash" || cat != "System" {
+		t.Errorf("ClassifyCause = %s/%s", tag, cat)
+	}
+	tag, cat, err = ClassifyCause("no recognizable content here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != "Unknown-T" || cat != "Unknown-C" {
+		t.Errorf("unknown cause = %s/%s", tag, cat)
+	}
+}
+
+func TestMissionModelFacade(t *testing.T) {
+	s := study(t)
+	m, err := s.MissionModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.TagRates) == 0 || m.TripMiles != 10 {
+		t.Errorf("mission model = %+v", m)
+	}
+}
+
+func TestNewStudyFromJSON(t *testing.T) {
+	// Round trip: marshal a tiny corpus, reload it through the facade.
+	blob := []byte(`{
+		"fleets": [{"manufacturer": "Nissan", "reportYear": 1, "cars": 1}],
+		"mileage": [{
+			"manufacturer": "Nissan", "vehicle": "n1", "reportYear": 1,
+			"month": "2015-03-01T00:00:00Z", "miles": 150
+		}],
+		"disengagements": [{
+			"manufacturer": "Nissan", "vehicle": "n1", "reportYear": 1,
+			"time": "2015-03-14T10:00:00Z",
+			"cause": "Takeover-Request - watchdog error",
+			"modality": 2, "reactionSeconds": 0.7
+		}],
+		"accidents": null
+	}`)
+	s, err := NewStudyFromJSON(blob, Options{CleanOCR: true, NoDictionaryExpansion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.DB().Events) != 1 {
+		t.Fatalf("events = %d", len(s.DB().Events))
+	}
+	if s.DB().Events[0].Tag.String() != "Hang/Crash" {
+		t.Errorf("tag = %s", s.DB().Events[0].Tag)
+	}
+	// Bad JSON and invalid corpora surface as errors.
+	if _, err := NewStudyFromJSON([]byte("{"), Options{}); err == nil {
+		t.Error("bad JSON: want error")
+	}
+	invalid := []byte(`{"mileage": [{"manufacturer": "Atlantis", "month": "2015-03-01T00:00:00Z", "miles": 1}]}`)
+	if _, err := NewStudyFromJSON(invalid, Options{}); err == nil {
+		t.Error("invalid corpus: want error")
+	}
+}
+
+func TestCleanOCROption(t *testing.T) {
+	s, err := NewStudy(Options{Seed: 2, CleanOCR: true, NoDictionaryExpansion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dis, _, _ := PaperTotals()
+	if len(s.DB().Events) != dis {
+		t.Errorf("clean study recovered %d of %d events", len(s.DB().Events), dis)
+	}
+	if s.Result().ParseReport.DefectRate() != 0 {
+		t.Error("clean study should have zero defects")
+	}
+}

@@ -1,0 +1,78 @@
+// Command avgen generates the calibrated synthetic CA DMV corpus and writes
+// it to disk: one scanned-document text file per report plus a
+// ground-truth JSON file, ready for avocr/avpipe.
+//
+// Usage:
+//
+//	avgen -out corpus/ [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"avfda/internal/scandoc"
+	"avfda/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "avgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "corpus", "output directory")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	truth, err := synth.Generate(synth.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	docsDir := filepath.Join(*out, "documents")
+	if err := os.MkdirAll(docsDir, 0o755); err != nil {
+		return err
+	}
+	docs := scandoc.Render(&truth.Corpus)
+	for _, d := range docs {
+		path := filepath.Join(docsDir, d.ID+".txt")
+		if err := os.WriteFile(path, []byte(strings.Join(d.Lines(), "\n")+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	truthPath := filepath.Join(*out, "truth.json")
+	blob, err := json.MarshalIndent(struct {
+		Corpus any      `json:"corpus"`
+		Tags   []string `json:"tags"`
+	}{
+		Corpus: truth.Corpus,
+		Tags:   tagNames(truth),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(truthPath, blob, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote %d documents to %s\n", len(docs), docsDir)
+	fmt.Printf("wrote ground truth to %s\n", truthPath)
+	fmt.Printf("corpus: %d disengagements, %d accidents, %.0f autonomous miles\n",
+		len(truth.Corpus.Disengagements), len(truth.Corpus.Accidents), truth.Corpus.TotalMiles())
+	return nil
+}
+
+func tagNames(t *synth.Truth) []string {
+	out := make([]string, len(t.Tags))
+	for i, tag := range t.Tags {
+		out[i] = tag.String()
+	}
+	return out
+}

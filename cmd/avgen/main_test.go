@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"avfda/internal/synth"
+)
+
+func TestTagNamesAligned(t *testing.T) {
+	truth, err := synth.Generate(synth.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := tagNames(truth)
+	if len(names) != len(truth.Tags) {
+		t.Fatalf("names = %d, tags = %d", len(names), len(truth.Tags))
+	}
+	for i, n := range names {
+		if n != truth.Tags[i].String() {
+			t.Fatalf("name %d = %q, want %q", i, n, truth.Tags[i].String())
+		}
+		if n == "" {
+			t.Fatal("empty tag name")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command avocr digitizes a directory of scanned report documents (as
+// produced by avgen) through the OCR noise model and writes the decoded
+// text plus a digitization report.
+//
+// Usage:
+//
+//	avocr -in corpus/documents -out decoded/ [-noise 0.002] [-seed 1] [-clean]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"avfda/internal/ocr"
+	"avfda/internal/scandoc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "avocr:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "corpus/documents", "input document directory")
+	out := flag.String("out", "decoded", "output directory")
+	noise := flag.Float64("noise", 0.002, "character substitution rate")
+	seed := flag.Int64("seed", 1, "noise seed")
+	clean := flag.Bool("clean", false, "disable all noise")
+	flag.Parse()
+
+	cfg := ocr.DefaultConfig()
+	cfg.SubstitutionRate = *noise
+	cfg.Seed = *seed
+	if *clean {
+		cfg = ocr.Clean()
+		cfg.Seed = *seed
+	}
+	engine, err := ocr.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+
+	entries, err := os.ReadDir(*in)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".txt") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	var pages, manual, subs int
+	for _, name := range names {
+		raw, err := os.ReadFile(filepath.Join(*in, name))
+		if err != nil {
+			return err
+		}
+		doc := documentFromFile(name, string(raw))
+		res := engine.Decode(&doc)
+		pages += res.TotalPages
+		manual += res.ManualPages
+		subs += res.Substitutions
+		if err := os.WriteFile(filepath.Join(*out, name),
+			[]byte(strings.Join(res.Lines, "\n")+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("decoded %d documents (%d pages): %d substitutions, %d manually transcribed pages\n",
+		len(names), pages, subs, manual)
+	return nil
+}
+
+// documentFromFile reconstructs a scandoc document from a flat text file.
+// Accident narratives (after "NARRATIVE:") are treated as handwritten.
+func documentFromFile(name, content string) scandoc.Document {
+	lines := strings.Split(strings.TrimRight(content, "\n"), "\n")
+	doc := scandoc.Document{ID: strings.TrimSuffix(name, ".txt")}
+	narrativeAt := -1
+	for i, l := range lines {
+		if strings.TrimSpace(l) == "NARRATIVE:" {
+			narrativeAt = i + 1
+			break
+		}
+	}
+	if narrativeAt < 0 {
+		doc.Pages = []scandoc.Page{{Lines: lines}}
+		return doc
+	}
+	doc.Pages = []scandoc.Page{
+		{Lines: lines[:narrativeAt]},
+		{Lines: lines[narrativeAt:], Handwritten: true},
+	}
+	return doc
+}

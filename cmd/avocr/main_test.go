@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestDocumentFromFileSplitsNarrative(t *testing.T) {
+	content := "REPORT OF TRAFFIC COLLISION INVOLVING AN AUTONOMOUS VEHICLE (OL 316)\n" +
+		"Manufacturer: Waymo\n" +
+		"NARRATIVE:\n" +
+		"The AV was rear-ended at low speed.\n" +
+		"No injuries were reported.\n"
+	doc := documentFromFile("accident-001-waymo.txt", content)
+	if doc.ID != "accident-001-waymo" {
+		t.Errorf("doc ID = %q", doc.ID)
+	}
+	if len(doc.Pages) != 2 {
+		t.Fatalf("pages = %d, want form + narrative", len(doc.Pages))
+	}
+	if doc.Pages[0].Handwritten {
+		t.Error("form page should be printed")
+	}
+	if !doc.Pages[1].Handwritten {
+		t.Error("narrative page should be handwritten")
+	}
+	if len(doc.Pages[1].Lines) != 2 {
+		t.Errorf("narrative lines = %d", len(doc.Pages[1].Lines))
+	}
+}
+
+func TestDocumentFromFileNoNarrative(t *testing.T) {
+	content := "CALIFORNIA DMV ANNUAL REPORT OF AUTONOMOUS VEHICLE DISENGAGEMENTS\n" +
+		"Manufacturer: Nissan\n" +
+		"SECTION 2: DISENGAGEMENT EVENTS (0 TOTAL)\n"
+	doc := documentFromFile("disengagements-nissan-1.txt", content)
+	if len(doc.Pages) != 1 || doc.Pages[0].Handwritten {
+		t.Errorf("pages = %+v", doc.Pages)
+	}
+	if len(doc.Pages[0].Lines) != 3 {
+		t.Errorf("lines = %d", len(doc.Pages[0].Lines))
+	}
+}

@@ -1,0 +1,187 @@
+// Command avquery runs ad-hoc queries over the consolidated failure
+// database: filter disengagements by manufacturer, tag, category, road,
+// modality, or month range, then list them or group-count them.
+//
+// Usage:
+//
+//	avquery [-seed 1] [-mfr Waymo] [-tag "Recognition System"]
+//	        [-category ML/Design] [-road highway] [-modality manual]
+//	        [-from 2015-01] [-to 2015-12]
+//	        [-by tag|category|month|road|modality|manufacturer]
+//	        [-limit 20] [-csv]
+//
+// Without -by, matching events are listed (up to -limit); with -by, counts
+// per group are printed. -csv emits the matching rows as CSV on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"avfda"
+	"avfda/internal/frame"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "avquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "study seed")
+	mfr := flag.String("mfr", "", "filter: manufacturer name")
+	tag := flag.String("tag", "", "filter: fault tag")
+	category := flag.String("category", "", "filter: failure category")
+	road := flag.String("road", "", "filter: road type")
+	modality := flag.String("modality", "", "filter: disengagement modality")
+	from := flag.String("from", "", "filter: first month, YYYY-MM")
+	to := flag.String("to", "", "filter: last month, YYYY-MM")
+	by := flag.String("by", "", "group counts by this column instead of listing")
+	limit := flag.Int("limit", 20, "max rows to list")
+	csv := flag.Bool("csv", false, "emit matching rows as CSV")
+	flag.Parse()
+
+	study, err := avfda.NewStudy(avfda.Options{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	events, err := study.DB().EventsFrame()
+	if err != nil {
+		return err
+	}
+	matched, err := applyFilters(events, filters{
+		mfr: *mfr, tag: *tag, category: *category, road: *road,
+		modality: *modality, from: *from, to: *to,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "matched %d of %d events\n", matched.NumRows(), events.NumRows())
+
+	switch {
+	case *csv:
+		return matched.WriteCSV(os.Stdout)
+	case *by != "":
+		return printGroups(matched, *by)
+	default:
+		return printRows(matched, *limit)
+	}
+}
+
+// filters carries the parsed filter flags.
+type filters struct {
+	mfr, tag, category, road, modality, from, to string
+}
+
+// applyFilters narrows the events frame by every non-empty filter.
+func applyFilters(events *frame.Frame, f filters) (*frame.Frame, error) {
+	var fromT, toT time.Time
+	var err error
+	if f.from != "" {
+		if fromT, err = time.Parse("2006-01", f.from); err != nil {
+			return nil, fmt.Errorf("bad -from: %w", err)
+		}
+	}
+	if f.to != "" {
+		if toT, err = time.Parse("2006-01", f.to); err != nil {
+			return nil, fmt.Errorf("bad -to: %w", err)
+		}
+		toT = toT.AddDate(0, 1, 0) // inclusive month
+	}
+	eq := func(got, want string) bool {
+		return want == "" || strings.EqualFold(got, want)
+	}
+	return events.Filter(func(r frame.Row) bool {
+		if !eq(r.String("manufacturer"), f.mfr) ||
+			!eq(r.String("tag"), f.tag) ||
+			!eq(r.String("category"), f.category) ||
+			!eq(r.String("road"), f.road) ||
+			!eq(r.String("modality"), f.modality) {
+			return false
+		}
+		ts := r.Time("time")
+		if !fromT.IsZero() && ts.Before(fromT) {
+			return false
+		}
+		if !toT.IsZero() && !ts.Before(toT) {
+			return false
+		}
+		return true
+	}), nil
+}
+
+// printGroups prints per-group counts, descending.
+func printGroups(matched *frame.Frame, by string) error {
+	col := by
+	if by == "month" {
+		// Derive a month column from the timestamp.
+		times, err := matched.Times("time")
+		if err != nil {
+			return err
+		}
+		months := make([]string, len(times))
+		for i, ts := range times {
+			months[i] = ts.Format("2006-01")
+		}
+		if err := matched.AddStrings("month", months); err != nil {
+			return err
+		}
+	}
+	groups, err := matched.GroupBy(col)
+	if err != nil {
+		return fmt.Errorf("group by %q: %w", by, err)
+	}
+	type row struct {
+		key string
+		n   int
+	}
+	rows := make([]row, 0, len(groups))
+	for _, g := range groups {
+		rows = append(rows, row{key: g.Key[0], n: g.Frame.NumRows()})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].key < rows[j].key
+	})
+	for _, r := range rows {
+		fmt.Printf("%6d  %s\n", r.n, r.key)
+	}
+	return nil
+}
+
+// printRows lists matched events, truncated.
+func printRows(matched *frame.Frame, limit int) error {
+	n := matched.NumRows()
+	show := matched.Head(limit)
+	times, err := show.Times("time")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < show.NumRows(); i++ {
+		var mfr, tag, cause string
+		show.Filter(func(r frame.Row) bool {
+			if r.Index() == i {
+				mfr = r.String("manufacturer")
+				tag = r.String("tag")
+				cause = r.String("cause")
+			}
+			return false
+		})
+		if len(cause) > 60 {
+			cause = cause[:57] + "..."
+		}
+		fmt.Printf("%s  %-14s %-24s %s\n", times[i].Format("2006-01-02"), mfr, tag, cause)
+	}
+	if n > limit {
+		fmt.Printf("... and %d more (raise -limit or use -csv)\n", n-limit)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"avfda/internal/frame"
+)
+
+func queryFixture(t *testing.T) *frame.Frame {
+	t.Helper()
+	f := frame.New()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(f.AddStrings("manufacturer", []string{"Waymo", "Waymo", "Bosch"}))
+	must(f.AddStrings("tag", []string{"Software", "Sensor", "Software"}))
+	must(f.AddStrings("category", []string{"System", "System", "System"}))
+	must(f.AddStrings("road", []string{"highway", "city street", "highway"}))
+	must(f.AddStrings("modality", []string{"Manual", "Automatic", "Planned"}))
+	must(f.AddStrings("cause", []string{"a", "b", "c"}))
+	must(f.AddTimes("time", []time.Time{
+		time.Date(2015, 3, 10, 0, 0, 0, 0, time.UTC),
+		time.Date(2015, 6, 10, 0, 0, 0, 0, time.UTC),
+		time.Date(2016, 1, 10, 0, 0, 0, 0, time.UTC),
+	}))
+	return f
+}
+
+func TestApplyFiltersByField(t *testing.T) {
+	f := queryFixture(t)
+	out, err := applyFilters(f, filters{mfr: "waymo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Errorf("mfr filter rows = %d", out.NumRows())
+	}
+	out, err = applyFilters(f, filters{tag: "Software", modality: "planned"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 {
+		t.Errorf("combined filter rows = %d", out.NumRows())
+	}
+}
+
+func TestApplyFiltersByMonthRange(t *testing.T) {
+	f := queryFixture(t)
+	out, err := applyFilters(f, filters{from: "2015-04", to: "2015-12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 {
+		t.Errorf("range rows = %d", out.NumRows())
+	}
+	// Inclusive end month.
+	out, err = applyFilters(f, filters{from: "2015-03", to: "2015-03"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 {
+		t.Errorf("single-month rows = %d", out.NumRows())
+	}
+	if _, err := applyFilters(f, filters{from: "bogus"}); err == nil {
+		t.Error("bad from: want error")
+	}
+	if _, err := applyFilters(f, filters{to: "bogus"}); err == nil {
+		t.Error("bad to: want error")
+	}
+}
+
+func TestApplyFiltersEmptyMatchesAll(t *testing.T) {
+	f := queryFixture(t)
+	out, err := applyFilters(f, filters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != f.NumRows() {
+		t.Errorf("no-filter rows = %d", out.NumRows())
+	}
+}

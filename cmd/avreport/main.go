@@ -1,0 +1,209 @@
+// Command avreport regenerates every table and figure of the paper's
+// evaluation, printing measured values next to the published ones, and can
+// export the figures as SVG.
+//
+// Usage:
+//
+//	avreport [-seed 1] [-clean] [-only tableVII] [-svg figures/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"avfda"
+	"avfda/internal/report"
+	"avfda/internal/schema"
+	"avfda/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "avreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "study seed")
+	clean := flag.Bool("clean", false, "disable OCR noise")
+	only := flag.String("only", "", "render a single artifact (e.g. tableIV, figure8)")
+	svgDir := flag.String("svg", "", "also export figures as SVG into this directory")
+	flag.Parse()
+
+	study, err := avfda.NewStudy(avfda.Options{Seed: *seed, CleanOCR: *clean})
+	if err != nil {
+		return err
+	}
+
+	type artifact struct {
+		name   string
+		render func() (string, error)
+	}
+	wrap := func(f func() string) func() (string, error) {
+		return func() (string, error) { return f(), nil }
+	}
+	artifacts := []artifact{
+		{"summary", wrap(study.Summary)},
+		{"tableI", wrap(study.TableI)},
+		{"tableIII", wrap(study.TableIII)},
+		{"tableIV", wrap(study.TableIV)},
+		{"tableV", wrap(study.TableV)},
+		{"tableVI", wrap(study.TableVI)},
+		{"tableVII", study.TableVII},
+		{"tableVIII", study.TableVIII},
+		{"figure4", wrap(study.Figure4)},
+		{"figure5", study.Figure5},
+		{"figure6", wrap(study.Figure6)},
+		{"figure7", wrap(study.Figure7)},
+		{"figure8", study.Figure8},
+		{"figure9", study.Figure9},
+		{"figure10", study.Figure10},
+		{"figure11", study.Figure11},
+		{"figure12", study.Figure12},
+		{"casestudies", study.CaseStudies},
+		{"roadcontext", wrap(study.RoadContext)},
+		{"weathercontext", wrap(study.WeatherContext)},
+		{"milesbetween", wrap(study.MilesBetween)},
+		{"survival", study.Survival},
+		{"mission", study.MissionValidation},
+	}
+	for _, a := range artifacts {
+		if *only != "" && !strings.EqualFold(*only, a.name) {
+			continue
+		}
+		text, err := a.render()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		fmt.Printf("%s\n", text)
+	}
+	if *svgDir != "" {
+		if err := exportSVGs(study, *svgDir); err != nil {
+			return err
+		}
+		fmt.Printf("SVG figures written to %s\n", *svgDir)
+	}
+	return nil
+}
+
+// exportSVGs writes the SVG renderings of Figs. 4 and 5.
+func exportSVGs(study *avfda.Study, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	db := study.DB()
+	var boxRows []report.BoxRow
+	for _, d := range db.DPMPerCar() {
+		boxRows = append(boxRows, report.BoxRow{Label: string(d.Manufacturer), Box: d.Box})
+	}
+	fig4 := report.SVGBoxChart(&report.BoxChart{
+		Title: "Figure 4: per-car disengagements per mile", Rows: boxRows, LogScale: true, Unit: "DPM",
+	})
+	if err := os.WriteFile(filepath.Join(dir, "figure4.svg"), []byte(fig4), 0o644); err != nil {
+		return err
+	}
+	series, err := db.CumulativeDisengagements()
+	if err != nil {
+		return err
+	}
+	sc := report.ScatterChart{
+		Title:  "Figure 5: cumulative disengagements vs cumulative miles",
+		XLabel: "miles", YLabel: "disengagements", LogX: true, LogY: true,
+	}
+	fits := make(map[string][2]float64)
+	for _, s := range series {
+		rs := report.Series{Label: string(s.Manufacturer)}
+		for _, p := range s.Points {
+			rs.Xs = append(rs.Xs, p.Miles)
+			rs.Ys = append(rs.Ys, p.Disengagements)
+		}
+		sc.Series = append(sc.Series, rs)
+		fits[rs.Label] = [2]float64{s.Fit.Slope, s.Fit.Intercept}
+	}
+	fig5 := report.SVGScatter(&sc, fits)
+	if err := os.WriteFile(filepath.Join(dir, "figure5.svg"), []byte(fig5), 0o644); err != nil {
+		return err
+	}
+
+	// Figure 7: per-year DPM boxes.
+	var yearRows []report.BoxRow
+	for _, r := range db.DPMByYear() {
+		yearRows = append(yearRows, report.BoxRow{
+			Label: fmt.Sprintf("%s %d", r.Manufacturer, r.Year), Box: r.Box,
+		})
+	}
+	fig7 := report.SVGBoxChart(&report.BoxChart{
+		Title: "Figure 7: per-car DPM by calendar year", Rows: yearRows, LogScale: true, Unit: "DPM",
+	})
+	if err := os.WriteFile(filepath.Join(dir, "figure7.svg"), []byte(fig7), 0o644); err != nil {
+		return err
+	}
+
+	// Figure 10: reaction-time boxes.
+	var rtRows []report.BoxRow
+	for _, r := range db.ReactionTimes() {
+		rtRows = append(rtRows, report.BoxRow{Label: string(r.Manufacturer), Box: r.Box})
+	}
+	fig10 := report.SVGBoxChart(&report.BoxChart{
+		Title: "Figure 10: driver reaction times", Rows: rtRows, LogScale: true, Unit: "seconds",
+	})
+	if err := os.WriteFile(filepath.Join(dir, "figure10.svg"), []byte(fig10), 0o644); err != nil {
+		return err
+	}
+
+	// Figure 11: Waymo reaction histogram with Weibull fit.
+	fit, err := db.FitReactionWeibull(schema.Waymo, 3600)
+	if err != nil {
+		return err
+	}
+	var waymoRT []float64
+	for _, r := range db.ReactionTimes() {
+		if r.Manufacturer == schema.Waymo {
+			for _, v := range r.Values {
+				if v < 3600 {
+					waymoRT = append(waymoRT, v)
+				}
+			}
+		}
+	}
+	hist, err := stats.NewHistogram(waymoRT, 0)
+	if err != nil {
+		return err
+	}
+	fig11 := report.SVGHistogram(&report.HistogramChart{
+		Title: fmt.Sprintf("Figure 11: Waymo reaction times, Weibull(k=%.2f, l=%.2f)", fit.Weibull.K, fit.Weibull.Lambda),
+		Hist:  hist,
+		PDF:   fit.Weibull.PDF,
+	})
+	if err := os.WriteFile(filepath.Join(dir, "figure11.svg"), []byte(fig11), 0o644); err != nil {
+		return err
+	}
+
+	// Figure 12: relative collision speeds with exponential fit.
+	speeds, err := db.AccidentSpeeds()
+	if err != nil {
+		return err
+	}
+	for _, s := range speeds {
+		if s.Label != "Relative speed" {
+			continue
+		}
+		sHist, err := stats.NewHistogram(s.Values, 8)
+		if err != nil {
+			return err
+		}
+		fig12 := report.SVGHistogram(&report.HistogramChart{
+			Title: fmt.Sprintf("Figure 12: relative collision speed, Exp(mean %.1f mph)", 1/s.Fit.Lambda),
+			Hist:  sHist,
+			PDF:   s.Fit.PDF,
+		})
+		if err := os.WriteFile(filepath.Join(dir, "figure12.svg"), []byte(fig12), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"avfda"
+)
+
+func TestExportSVGs(t *testing.T) {
+	study, err := avfda.NewStudy(avfda.Options{Seed: 1, CleanOCR: true, NoDictionaryExpansion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := exportSVGs(study, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"figure4.svg", "figure5.svg", "figure7.svg",
+		"figure10.svg", "figure11.svg", "figure12.svg",
+	} {
+		blob, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		text := string(blob)
+		if !strings.HasPrefix(text, "<svg") || !strings.Contains(text, "</svg>") {
+			t.Errorf("%s is not a complete SVG document", name)
+		}
+		switch name {
+		case "figure11.svg", "figure12.svg":
+			if !strings.Contains(text, "density") || !strings.Contains(text, "polyline") {
+				t.Errorf("%s missing histogram content", name)
+			}
+		default:
+			if !strings.Contains(text, "Waymo") {
+				t.Errorf("%s missing series labels", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package avfda_test
+
+import (
+	"fmt"
+
+	"avfda"
+)
+
+// ExampleClassifyCause runs the paper's NLP stage over a raw disengagement
+// log line.
+func ExampleClassifyCause() {
+	tag, category, err := avfda.ClassifyCause(
+		"Takeover-Request - watchdog error")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s (%s)\n", tag, category)
+	// Output: Hang/Crash (System)
+}
+
+// ExamplePaperTotals shows the headline constants the synthetic corpus is
+// calibrated to.
+func ExamplePaperTotals() {
+	miles, disengagements, accidents, vehicles := avfda.PaperTotals()
+	fmt.Printf("%.0f miles, %d disengagements, %d accidents, %d vehicles\n",
+		miles, disengagements, accidents, vehicles)
+	// Output: 1116605 miles, 5328 disengagements, 42 accidents, 144 vehicles
+}

@@ -1,0 +1,48 @@
+// Quickstart: run the full study pipeline and print the headline results —
+// the shortest path from `go run` to the paper's main findings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"avfda"
+)
+
+func main() {
+	// A Study generates the calibrated two-release DMV corpus, renders it
+	// to scanned documents, digitizes them with realistic OCR noise,
+	// parses every vendor format, NLP-tags each disengagement cause, and
+	// consolidates the failure database.
+	study, err := avfda.NewStudy(avfda.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Study summary ==")
+	fmt.Print(study.Summary())
+
+	// The paper's headline comparison: AVs vs human drivers (Table VII).
+	tableVII, err := study.TableVII()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(tableVII)
+
+	// And the maturity signal: DPM falls with cumulative miles (Fig. 8).
+	fig8, err := study.Figure8()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(fig8)
+
+	// One-off classification of a raw disengagement cause.
+	tag, category, err := avfda.ClassifyCause(
+		"The AV didn't see the lead vehicle, driver safely disengaged")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsample cause classified as: %s (%s)\n", tag, category)
+}

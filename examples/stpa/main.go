@@ -1,0 +1,64 @@
+// STPA: causal analysis of the paper's two case-study accidents over the
+// Fig. 3 hierarchical control structure — which control loops broke, which
+// unsafe-control-action forms appeared, and where each fault class lives
+// in the structure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"avfda/internal/ontology"
+	"avfda/internal/stpa"
+)
+
+func main() {
+	structure := stpa.NewADSStructure()
+	if err := structure.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== ADS hierarchical control structure (paper Fig. 3) ==")
+	for _, c := range structure.Components() {
+		fmt.Printf("  [%d] %-22s %s\n", c.Layer, c.Name, c.Description)
+	}
+	fmt.Println()
+	for _, l := range structure.Loops() {
+		fmt.Printf("%s: %s\n  path:", l.ID, l.Description)
+		for _, id := range l.Path {
+			fmt.Printf(" %s", id)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// Localize every fault tag onto the structure.
+	fmt.Println("fault-tag loci:")
+	for _, tag := range ontology.AllTags() {
+		locus, err := stpa.TagLocus(tag)
+		if err != nil {
+			fmt.Printf("  %-30s (no locus: unknown cause)\n", tag)
+			continue
+		}
+		loops := structure.LoopsContaining(locus)
+		ids := make([]string, len(loops))
+		for i, l := range loops {
+			ids[i] = l.ID
+		}
+		fmt.Printf("  %-30s -> %-12s loops %v\n", tag, locus, ids)
+	}
+	fmt.Println()
+
+	// Walk the two real accidents from the paper's §II.
+	for _, sc := range []stpa.Scenario{stpa.CaseStudyI(), stpa.CaseStudyII()} {
+		fmt.Printf("== %s ==\n", sc.Name)
+		fmt.Println(sc.Narrative)
+		fmt.Printf("reported cause: %q -> tag %s\n\n", sc.ReportedCause, sc.Tag)
+		analysis, err := structure.Analyze(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(analysis.Render())
+		fmt.Println()
+	}
+}

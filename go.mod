@@ -1,0 +1,3 @@
+module avfda
+
+go 1.22

@@ -1,0 +1,237 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"avfda/internal/schema"
+)
+
+// The calibration tables are transcriptions of the paper; these tests pin
+// their internal consistency so a typo cannot silently skew the whole
+// reproduction.
+
+func TestTableITotalsRow(t *testing.T) {
+	var cars2016, cars2017, dis2016, dis2017, acc2016, acc2017 int
+	var miles2016, miles2017 float64
+	for _, years := range TableI {
+		for y, st := range years {
+			add := func(cars, dis, acc *int, miles *float64) {
+				if st.Cars > 0 {
+					*cars += st.Cars
+				}
+				if st.Disengagements > 0 {
+					*dis += st.Disengagements
+				}
+				if st.Accidents > 0 {
+					*acc += st.Accidents
+				}
+				if st.Miles > 0 {
+					*miles += st.Miles
+				}
+			}
+			if y == schema.Report2016 {
+				add(&cars2016, &dis2016, &acc2016, &miles2016)
+			} else {
+				add(&cars2017, &dis2017, &acc2017, &miles2017)
+			}
+		}
+	}
+	if cars2016 != TotalCars2016 {
+		t.Errorf("2016 cars = %d, want %d", cars2016, TotalCars2016)
+	}
+	// Documented paper inconsistency: the printed 2017 total is 83, the
+	// cells sum to 85.
+	if cars2017 != CellCars2017 {
+		t.Errorf("2017 cars cell sum = %d, want %d", cars2017, CellCars2017)
+	}
+	if TotalCars2017 != 83 {
+		t.Error("printed 2017 total should stay recorded as 83")
+	}
+	if dis2016 != TotalDisengagements2016 {
+		t.Errorf("2016 disengagements = %d, want %d", dis2016, TotalDisengagements2016)
+	}
+	if dis2017 != TotalDisengagements2017 {
+		t.Errorf("2017 disengagements = %d, want %d", dis2017, TotalDisengagements2017)
+	}
+	if acc2016 != TotalAccidents2016 {
+		t.Errorf("2016 accidents = %d, want %d", acc2016, TotalAccidents2016)
+	}
+	if acc2017 != TotalAccidents2017 {
+		t.Errorf("2017 accidents = %d, want %d", acc2017, TotalAccidents2017)
+	}
+	if math.Abs(miles2016-TotalMiles2016) > 0.2 {
+		t.Errorf("2016 miles = %.2f, want %.2f", miles2016, TotalMiles2016)
+	}
+	if math.Abs(miles2017-TotalMiles2017) > 0.5 {
+		t.Errorf("2017 miles = %.2f, want %.2f", miles2017, TotalMiles2017)
+	}
+}
+
+func TestHeadlineTotals(t *testing.T) {
+	if TotalDisengagements2016+TotalDisengagements2017 != TotalDisengagements {
+		t.Error("disengagement totals inconsistent")
+	}
+	if TotalAccidents2016+TotalAccidents2017 != TotalAccidents {
+		t.Error("accident totals inconsistent")
+	}
+	if TotalCars2016+TotalCars2017 != TotalAVs {
+		t.Error("fleet totals inconsistent")
+	}
+	if math.Abs(TotalMiles2016+TotalMiles2017-TotalMiles) > 1 {
+		t.Errorf("miles totals inconsistent: %.1f", TotalMiles2016+TotalMiles2017)
+	}
+}
+
+func TestTableVIFractions(t *testing.T) {
+	var total int
+	for _, row := range TableVI {
+		total += row.Accidents
+	}
+	if total != TotalAccidents {
+		t.Errorf("Table VI accidents sum to %d, want %d", total, TotalAccidents)
+	}
+	for m, row := range TableVI {
+		want := 100 * float64(row.Accidents) / float64(TotalAccidents)
+		if math.Abs(row.FractionPct-want) > 0.05 {
+			t.Errorf("%s fraction %.2f, want %.2f", m, row.FractionPct, want)
+		}
+	}
+}
+
+func TestTableVIDPAConsistency(t *testing.T) {
+	// DPA should equal total disengagements / accidents (both years).
+	for m, row := range TableVI {
+		if row.DPA == Unreported {
+			continue
+		}
+		var dis int
+		for _, st := range TableI[m] {
+			if st.Disengagements > 0 {
+				dis += st.Disengagements
+			}
+		}
+		want := float64(dis) / float64(row.Accidents)
+		// The paper rounds DPA to integers.
+		if math.Abs(row.DPA-want) > 1.5 {
+			t.Errorf("%s DPA %.0f, computed %.1f", m, row.DPA, want)
+		}
+	}
+}
+
+func TestTableVIIIConsistency(t *testing.T) {
+	// APMi = APM * 10; ratios derive from the baselines.
+	for m, row := range TableVIII {
+		apm := TableVII[m].MedianAPM
+		wantAPMi := apm * MedianTripMiles
+		if math.Abs(row.APMi-wantAPMi)/wantAPMi > 0.01 {
+			t.Errorf("%s APMi %.4g, computed %.4g", m, row.APMi, wantAPMi)
+		}
+		if math.Abs(row.VsAirline-row.APMi/AirlineAPM)/row.VsAirline > 0.01 {
+			t.Errorf("%s vs airline inconsistent", m)
+		}
+		if math.Abs(row.VsSurgicalBot-row.APMi/SurgicalRobotAPM)/row.VsSurgicalBot > 0.02 {
+			t.Errorf("%s vs SR inconsistent", m)
+		}
+	}
+}
+
+func TestTableVIIRelToHuman(t *testing.T) {
+	for m, row := range TableVII {
+		if row.MedianAPM == Unreported {
+			if row.RelToHuman != Unreported {
+				t.Errorf("%s has rel without APM", m)
+			}
+			continue
+		}
+		want := row.MedianAPM / HumanAPM
+		if m == schema.Nissan {
+			// Documented paper inconsistency: printed value is 10x off.
+			if math.Abs(row.RelToHuman*10-want) > 0.5 {
+				t.Errorf("Nissan: printed %.3f, computed %.2f — expected exactly 10x gap", row.RelToHuman, want)
+			}
+			continue
+		}
+		if math.Abs(row.RelToHuman-want)/want > 0.01 {
+			t.Errorf("%s rel %.2f, computed %.2f", m, row.RelToHuman, want)
+		}
+	}
+}
+
+func TestCategoryRowsSumTo100(t *testing.T) {
+	for m, row := range SynthCategory {
+		sum := row.PlannerPct + row.PerceptionPct + row.SystemPct + row.UnknownPct
+		if math.Abs(sum-100) > 0.1 {
+			t.Errorf("%s category row sums to %.2f", m, sum)
+		}
+	}
+}
+
+func TestModalityRowsSumTo100(t *testing.T) {
+	for m, row := range TableV {
+		sum := row.AutomaticPct + row.ManualPct + row.PlannedPct
+		if math.Abs(sum-100) > 0.1 {
+			t.Errorf("%s modality row sums to %.2f", m, sum)
+		}
+	}
+}
+
+func TestRoadMixSumsToOne(t *testing.T) {
+	var sum float64
+	for _, f := range RoadMix {
+		sum += f
+	}
+	if math.Abs(sum-1) > 0.005 {
+		t.Errorf("road mix sums to %.4f", sum)
+	}
+}
+
+func TestReactionCalibration(t *testing.T) {
+	if math.Abs(NonAVBrakeReaction+OwnershipPenalty-NonAVReaction) > 1e-9 {
+		t.Error("non-AV reaction components inconsistent")
+	}
+	for m, w := range ReactionDist {
+		if w.Shape <= 0 || w.Scale <= 0 {
+			t.Errorf("%s has degenerate Weibull params", m)
+		}
+	}
+	// Bosch and GM Cruise must not report reaction times (planned tests).
+	if _, ok := ReactionDist[schema.Bosch]; ok {
+		t.Error("Bosch should not have reaction params")
+	}
+	if _, ok := ReactionDist[schema.GMCruise]; ok {
+		t.Error("GM Cruise should not have reaction params")
+	}
+}
+
+func TestCarCountForSynth(t *testing.T) {
+	// Reported counts pass through.
+	if CarCountForSynth(schema.Waymo, schema.Report2016) != 49 {
+		t.Error("Waymo 2016 cars wrong")
+	}
+	// Dash rows get substitutes >= 1.
+	for _, m := range schema.AllManufacturers() {
+		for _, y := range schema.ReportYears() {
+			if st, ok := TableI[m][y]; ok && st.Reported() {
+				if CarCountForSynth(m, y) < 1 {
+					t.Errorf("%s %s: no cars for synthesis", m, y)
+				}
+			}
+		}
+	}
+}
+
+func TestMilesPerDisengagementDiscrepancy(t *testing.T) {
+	// The documented inconsistency: Table I totals give ~209.6, the prose
+	// says 262.
+	computed := TotalMiles / TotalDisengagements
+	if math.Abs(computed-ComputedMilesPerDisengagement) > 1e-9 {
+		t.Error("computed miles/disengagement constant drifted")
+	}
+	if math.Abs(computed-209.57) > 0.05 {
+		t.Errorf("computed miles/disengagement = %.2f", computed)
+	}
+	if MeanMilesPerDisengagement != 262.0 {
+		t.Error("paper's quoted value should stay recorded as 262")
+	}
+}

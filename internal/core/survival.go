@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"avfda/internal/schema"
+	"avfda/internal/stats"
+)
+
+// Survival treatment of the §V-C2 metric: instead of averaging miles
+// between disengagements (which drops event-free vehicles), estimate the
+// distribution of miles-to-first-disengagement per vehicle with
+// Kaplan–Meier, right-censoring vehicles that never disengaged at their
+// total mileage.
+
+// SurvivalCurve is one manufacturer's fitted miles-to-first-disengagement
+// curve.
+type SurvivalCurve struct {
+	Manufacturer schema.Manufacturer
+	KM           *stats.KaplanMeier
+	// MedianMiles is the survival-median miles to first disengagement;
+	// negative when censoring keeps the curve above 0.5.
+	MedianMiles float64
+}
+
+// survivalObservations builds per-vehicle (miles to first event, censored)
+// observations for one manufacturer. Miles accrue month by month; the first
+// event's position inside its month is prorated by day.
+func (db *DB) survivalObservations(m schema.Manufacturer) []stats.Observation {
+	type monthMiles struct {
+		month time.Time
+		miles float64
+	}
+	mileageBy := make(map[schema.VehicleID][]monthMiles)
+	for _, mm := range db.Mileage {
+		if mm.Manufacturer != m || mm.Vehicle == "" {
+			continue
+		}
+		mileageBy[mm.Vehicle] = append(mileageBy[mm.Vehicle], monthMiles{mm.Month, mm.Miles})
+	}
+	firstEvent := make(map[schema.VehicleID]time.Time)
+	for _, e := range db.Events {
+		if e.Manufacturer != m || e.Vehicle == "" {
+			continue
+		}
+		if t, ok := firstEvent[e.Vehicle]; !ok || e.Time.Before(t) {
+			firstEvent[e.Vehicle] = e.Time
+		}
+	}
+	vehicles := make([]schema.VehicleID, 0, len(mileageBy))
+	for v := range mileageBy {
+		vehicles = append(vehicles, v)
+	}
+	sort.Slice(vehicles, func(i, j int) bool { return vehicles[i] < vehicles[j] })
+
+	var out []stats.Observation
+	for _, v := range vehicles {
+		months := mileageBy[v]
+		sort.Slice(months, func(i, j int) bool { return months[i].month.Before(months[j].month) })
+		ev, hasEvent := firstEvent[v]
+		var miles float64
+		done := false
+		for _, mm := range months {
+			monthEnd := mm.month.AddDate(0, 1, 0)
+			if hasEvent && !ev.Before(mm.month) && ev.Before(monthEnd) {
+				// Event inside this month: prorate by elapsed fraction.
+				frac := ev.Sub(mm.month).Hours() / monthEnd.Sub(mm.month).Hours()
+				miles += mm.miles * frac
+				out = append(out, stats.Observation{Time: miles})
+				done = true
+				break
+			}
+			miles += mm.miles
+		}
+		if !done {
+			if miles <= 0 {
+				continue
+			}
+			out = append(out, stats.Observation{Time: miles, Censored: true})
+		}
+	}
+	return out
+}
+
+// SurvivalCurves fits per-manufacturer miles-to-first-disengagement curves
+// for every analysis manufacturer with identifiable vehicles.
+func (db *DB) SurvivalCurves() ([]SurvivalCurve, error) {
+	var out []SurvivalCurve
+	for _, m := range db.AnalysisManufacturers() {
+		obs := db.survivalObservations(m)
+		if len(obs) < 2 {
+			continue
+		}
+		km, err := stats.NewKaplanMeier(obs)
+		if err != nil {
+			return nil, err
+		}
+		c := SurvivalCurve{Manufacturer: m, KM: km, MedianMiles: -1}
+		if med, ok := km.MedianTime(); ok {
+			c.MedianMiles = med
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("core: no manufacturers with survival data")
+	}
+	return out, nil
+}
+
+// SurvivalLogRank compares two manufacturers' miles-to-first-disengagement
+// curves with the log-rank test.
+func (db *DB) SurvivalLogRank(a, b schema.Manufacturer) (chi2, p float64, err error) {
+	return stats.LogRank(db.survivalObservations(a), db.survivalObservations(b))
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"avfda/internal/schema"
+)
+
+func TestSurvivalCurves(t *testing.T) {
+	db := truthDB(t)
+	curves, err := db.SurvivalCurves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) < 6 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	byMfr := make(map[schema.Manufacturer]SurvivalCurve)
+	for _, c := range curves {
+		byMfr[c.Manufacturer] = c
+	}
+	// Waymo's median miles-to-first-disengagement dwarfs the pack's.
+	waymo, ok := byMfr[schema.Waymo]
+	if !ok {
+		t.Fatal("no Waymo curve")
+	}
+	bosch, ok := byMfr[schema.Bosch]
+	if !ok {
+		t.Fatal("no Bosch curve")
+	}
+	if waymo.MedianMiles > 0 && bosch.MedianMiles > 0 {
+		if waymo.MedianMiles < 100*bosch.MedianMiles {
+			t.Errorf("Waymo median %.1f mi vs Bosch %.2f mi — spread too small",
+				waymo.MedianMiles, bosch.MedianMiles)
+		}
+	}
+	// Survival at 0 miles is 1; curves are non-increasing.
+	for _, c := range curves {
+		if got := c.KM.At(0); got > 1 || got <= 0 {
+			t.Errorf("%s: S(0) = %g", c.Manufacturer, got)
+		}
+		prev := 1.0
+		for _, p := range c.KM.Points {
+			if p.Survival > prev+1e-12 {
+				t.Fatalf("%s: survival increased at %g", c.Manufacturer, p.Time)
+			}
+			prev = p.Survival
+		}
+		// Censored vehicles only where the fleet has event-free cars.
+		if c.KM.N <= 0 {
+			t.Errorf("%s: empty curve", c.Manufacturer)
+		}
+	}
+	// Waymo has censored (event-free) vehicles.
+	if waymo.KM.Censored == 0 {
+		t.Error("Waymo should have censored vehicles")
+	}
+}
+
+func TestSurvivalLogRankSeparatesFleets(t *testing.T) {
+	db := truthDB(t)
+	// Waymo vs Bosch miles-to-first-disengagement: wildly different.
+	chi2, p, err := db.SurvivalLogRank(schema.Waymo, schema.Bosch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.01 {
+		t.Errorf("Waymo-vs-Bosch log-rank p = %g (chi2 %g), want significant", p, chi2)
+	}
+	// A fleet against itself cannot be distinguished.
+	_, p, err = db.SurvivalLogRank(schema.Waymo, schema.Waymo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.99 {
+		t.Errorf("self log-rank p = %g, want ~1", p)
+	}
+}
+
+func TestSurvivalEmptyDB(t *testing.T) {
+	db := &DB{}
+	if _, err := db.SurvivalCurves(); err == nil {
+		t.Error("empty DB: want error")
+	}
+}

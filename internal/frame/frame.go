@@ -1,0 +1,554 @@
+// Package frame is a small typed columnar dataframe: the Go-native stand-in
+// for the pandas layer that the paper's analysis workflow implies.
+//
+// A Frame is a set of equal-length named columns of float64, int64, string,
+// or time.Time. It supports row filtering, sorting, group-by with ordered
+// groups (deterministic iteration for reproducible analyses), aggregation,
+// column arithmetic, and CSV round-tripping. It is deliberately not a query
+// engine: operations copy, the zero value is unusable, and every error is
+// explicit.
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind enumerates supported column element types.
+type Kind int
+
+// Column kinds.
+const (
+	Float Kind = iota + 1
+	Int
+	String
+	Time
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Float:
+		return "float"
+	case Int:
+		return "int"
+	case String:
+		return "string"
+	case Time:
+		return "time"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Column is one typed column. Exactly one of the data slices is non-nil,
+// matching Kind.
+type Column struct {
+	Name    string
+	Kind    Kind
+	Floats  []float64
+	Ints    []int64
+	Strings []string
+	Times   []time.Time
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case Float:
+		return len(c.Floats)
+	case Int:
+		return len(c.Ints)
+	case String:
+		return len(c.Strings)
+	case Time:
+		return len(c.Times)
+	default:
+		return 0
+	}
+}
+
+// value returns the i-th element boxed, for printing and comparison.
+func (c *Column) value(i int) any {
+	switch c.Kind {
+	case Float:
+		return c.Floats[i]
+	case Int:
+		return c.Ints[i]
+	case String:
+		return c.Strings[i]
+	case Time:
+		return c.Times[i]
+	default:
+		return nil
+	}
+}
+
+// keyString renders the i-th element as a group-by key component.
+func (c *Column) keyString(i int) string {
+	switch c.Kind {
+	case Float:
+		return fmt.Sprintf("%g", c.Floats[i])
+	case Int:
+		return fmt.Sprintf("%d", c.Ints[i])
+	case String:
+		return c.Strings[i]
+	case Time:
+		return c.Times[i].Format(time.RFC3339Nano)
+	default:
+		return ""
+	}
+}
+
+// take returns a copy of the column restricted to rows idx.
+func (c *Column) take(idx []int) *Column {
+	out := &Column{Name: c.Name, Kind: c.Kind}
+	switch c.Kind {
+	case Float:
+		out.Floats = make([]float64, len(idx))
+		for j, i := range idx {
+			out.Floats[j] = c.Floats[i]
+		}
+	case Int:
+		out.Ints = make([]int64, len(idx))
+		for j, i := range idx {
+			out.Ints[j] = c.Ints[i]
+		}
+	case String:
+		out.Strings = make([]string, len(idx))
+		for j, i := range idx {
+			out.Strings[j] = c.Strings[i]
+		}
+	case Time:
+		out.Times = make([]time.Time, len(idx))
+		for j, i := range idx {
+			out.Times[j] = c.Times[i]
+		}
+	}
+	return out
+}
+
+// Frame is an ordered collection of equal-length columns.
+type Frame struct {
+	cols  []*Column
+	index map[string]int
+}
+
+// New creates an empty frame.
+func New() *Frame {
+	return &Frame{index: make(map[string]int)}
+}
+
+// NumRows returns the row count (0 for an empty frame).
+func (f *Frame) NumRows() int {
+	if len(f.cols) == 0 {
+		return 0
+	}
+	return f.cols[0].Len()
+}
+
+// NumCols returns the column count.
+func (f *Frame) NumCols() int { return len(f.cols) }
+
+// Names returns the column names in order.
+func (f *Frame) Names() []string {
+	out := make([]string, len(f.cols))
+	for i, c := range f.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// addColumn validates and registers col.
+func (f *Frame) addColumn(col *Column) error {
+	if col.Name == "" {
+		return errors.New("frame: column name must be non-empty")
+	}
+	if _, dup := f.index[col.Name]; dup {
+		return fmt.Errorf("frame: duplicate column %q", col.Name)
+	}
+	if len(f.cols) > 0 && col.Len() != f.NumRows() {
+		return fmt.Errorf("frame: column %q has %d rows, frame has %d", col.Name, col.Len(), f.NumRows())
+	}
+	f.index[col.Name] = len(f.cols)
+	f.cols = append(f.cols, col)
+	return nil
+}
+
+// AddFloats appends a float64 column. The data is copied.
+func (f *Frame) AddFloats(name string, data []float64) error {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	return f.addColumn(&Column{Name: name, Kind: Float, Floats: cp})
+}
+
+// AddInts appends an int64 column. The data is copied.
+func (f *Frame) AddInts(name string, data []int64) error {
+	cp := make([]int64, len(data))
+	copy(cp, data)
+	return f.addColumn(&Column{Name: name, Kind: Int, Ints: cp})
+}
+
+// AddStrings appends a string column. The data is copied.
+func (f *Frame) AddStrings(name string, data []string) error {
+	cp := make([]string, len(data))
+	copy(cp, data)
+	return f.addColumn(&Column{Name: name, Kind: String, Strings: cp})
+}
+
+// AddTimes appends a time.Time column. The data is copied.
+func (f *Frame) AddTimes(name string, data []time.Time) error {
+	cp := make([]time.Time, len(data))
+	copy(cp, data)
+	return f.addColumn(&Column{Name: name, Kind: Time, Times: cp})
+}
+
+// Column returns the named column, or an error if absent. The returned
+// column shares storage with the frame; callers must not mutate it.
+func (f *Frame) Column(name string) (*Column, error) {
+	i, ok := f.index[name]
+	if !ok {
+		return nil, fmt.Errorf("frame: no column %q", name)
+	}
+	return f.cols[i], nil
+}
+
+// Floats returns a copy of the named float column's data.
+func (f *Frame) Floats(name string) ([]float64, error) {
+	c, err := f.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != Float {
+		return nil, fmt.Errorf("frame: column %q is %s, not float", name, c.Kind)
+	}
+	out := make([]float64, len(c.Floats))
+	copy(out, c.Floats)
+	return out, nil
+}
+
+// Ints returns a copy of the named int column's data.
+func (f *Frame) Ints(name string) ([]int64, error) {
+	c, err := f.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != Int {
+		return nil, fmt.Errorf("frame: column %q is %s, not int", name, c.Kind)
+	}
+	out := make([]int64, len(c.Ints))
+	copy(out, c.Ints)
+	return out, nil
+}
+
+// StringsCol returns a copy of the named string column's data.
+func (f *Frame) StringsCol(name string) ([]string, error) {
+	c, err := f.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != String {
+		return nil, fmt.Errorf("frame: column %q is %s, not string", name, c.Kind)
+	}
+	out := make([]string, len(c.Strings))
+	copy(out, c.Strings)
+	return out, nil
+}
+
+// Times returns a copy of the named time column's data.
+func (f *Frame) Times(name string) ([]time.Time, error) {
+	c, err := f.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Kind != Time {
+		return nil, fmt.Errorf("frame: column %q is %s, not time", name, c.Kind)
+	}
+	out := make([]time.Time, len(c.Times))
+	copy(out, c.Times)
+	return out, nil
+}
+
+// Select returns a new frame containing only the named columns, in the
+// given order.
+func (f *Frame) Select(names ...string) (*Frame, error) {
+	out := New()
+	all := allRows(f.NumRows())
+	for _, n := range names {
+		c, err := f.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.addColumn(c.take(all)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Filter returns a new frame with only the rows where keep returns true.
+// keep receives a Row view that reads directly from the frame.
+func (f *Frame) Filter(keep func(r Row) bool) *Frame {
+	var idx []int
+	for i := 0; i < f.NumRows(); i++ {
+		if keep(Row{f: f, i: i}) {
+			idx = append(idx, i)
+		}
+	}
+	return f.takeRows(idx)
+}
+
+// takeRows copies the frame restricted to rows idx.
+func (f *Frame) takeRows(idx []int) *Frame {
+	out := New()
+	for _, c := range f.cols {
+		// addColumn cannot fail here: names are unique and lengths match.
+		_ = out.addColumn(c.take(idx))
+	}
+	return out
+}
+
+// allRows returns [0, 1, ..., n-1].
+func allRows(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Row is a read-only view of one frame row.
+type Row struct {
+	f *Frame
+	i int
+}
+
+// Float returns the float value in the named column. Missing or mistyped
+// columns return NaN; analysis code filters NaNs explicitly.
+func (r Row) Float(name string) float64 {
+	c, err := r.f.Column(name)
+	if err != nil || c.Kind != Float {
+		return math.NaN()
+	}
+	return c.Floats[r.i]
+}
+
+// Int returns the int value in the named column, or 0 when absent.
+func (r Row) Int(name string) int64 {
+	c, err := r.f.Column(name)
+	if err != nil || c.Kind != Int {
+		return 0
+	}
+	return c.Ints[r.i]
+}
+
+// String returns the string value in the named column, or "" when absent.
+func (r Row) String(name string) string {
+	c, err := r.f.Column(name)
+	if err != nil || c.Kind != String {
+		return ""
+	}
+	return c.Strings[r.i]
+}
+
+// Time returns the time value in the named column, or the zero time.
+func (r Row) Time(name string) time.Time {
+	c, err := r.f.Column(name)
+	if err != nil || c.Kind != Time {
+		return time.Time{}
+	}
+	return c.Times[r.i]
+}
+
+// Index returns the row's position in the frame.
+func (r Row) Index() int { return r.i }
+
+// SortBy returns a new frame sorted ascending by the named columns
+// (lexicographic over the column list). The sort is stable.
+func (f *Frame) SortBy(names ...string) (*Frame, error) {
+	cols := make([]*Column, len(names))
+	for i, n := range names {
+		c, err := f.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	idx := allRows(f.NumRows())
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, c := range cols {
+			cmp := compareAt(c, idx[a], idx[b])
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return f.takeRows(idx), nil
+}
+
+// compareAt orders two cells of one column.
+func compareAt(c *Column, a, b int) int {
+	switch c.Kind {
+	case Float:
+		switch {
+		case c.Floats[a] < c.Floats[b]:
+			return -1
+		case c.Floats[a] > c.Floats[b]:
+			return 1
+		}
+	case Int:
+		switch {
+		case c.Ints[a] < c.Ints[b]:
+			return -1
+		case c.Ints[a] > c.Ints[b]:
+			return 1
+		}
+	case String:
+		return strings.Compare(c.Strings[a], c.Strings[b])
+	case Time:
+		switch {
+		case c.Times[a].Before(c.Times[b]):
+			return -1
+		case c.Times[a].After(c.Times[b]):
+			return 1
+		}
+	}
+	return 0
+}
+
+// Group is one group-by partition: the key values and the sub-frame.
+type Group struct {
+	// Key holds the group's key column values, aligned with the GroupBy
+	// column names.
+	Key []string
+	// Frame is the partition.
+	Frame *Frame
+}
+
+// GroupBy partitions the frame by the named columns. Groups are returned in
+// order of first appearance, making downstream analyses deterministic.
+func (f *Frame) GroupBy(names ...string) ([]Group, error) {
+	keyCols := make([]*Column, len(names))
+	for i, n := range names {
+		c, err := f.Column(n)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[i] = c
+	}
+	order := make([]string, 0)
+	buckets := make(map[string][]int)
+	keys := make(map[string][]string)
+	var sb strings.Builder
+	for i := 0; i < f.NumRows(); i++ {
+		sb.Reset()
+		parts := make([]string, len(keyCols))
+		for j, c := range keyCols {
+			parts[j] = c.keyString(i)
+			sb.WriteString(parts[j])
+			sb.WriteByte(0)
+		}
+		k := sb.String()
+		if _, seen := buckets[k]; !seen {
+			order = append(order, k)
+			keys[k] = parts
+		}
+		buckets[k] = append(buckets[k], i)
+	}
+	out := make([]Group, 0, len(order))
+	for _, k := range order {
+		out = append(out, Group{Key: keys[k], Frame: f.takeRows(buckets[k])})
+	}
+	return out, nil
+}
+
+// Agg is a named aggregation over a float column.
+type Agg struct {
+	// Col is the source float column.
+	Col string
+	// As names the output column.
+	As string
+	// Fn reduces the group's column values to one number.
+	Fn func([]float64) float64
+}
+
+// Aggregate group-bys the frame and applies each aggregation, producing one
+// row per group with the key columns (as strings) plus one float column per
+// aggregation.
+func (f *Frame) Aggregate(by []string, aggs []Agg) (*Frame, error) {
+	groups, err := f.GroupBy(by...)
+	if err != nil {
+		return nil, err
+	}
+	out := New()
+	keyData := make([][]string, len(by))
+	for i := range keyData {
+		keyData[i] = make([]string, len(groups))
+	}
+	aggData := make([][]float64, len(aggs))
+	for i := range aggData {
+		aggData[i] = make([]float64, len(groups))
+	}
+	for gi, g := range groups {
+		for ki := range by {
+			keyData[ki][gi] = g.Key[ki]
+		}
+		for ai, a := range aggs {
+			vals, err := g.Frame.Floats(a.Col)
+			if err != nil {
+				return nil, err
+			}
+			aggData[ai][gi] = a.Fn(vals)
+		}
+	}
+	for ki, name := range by {
+		if err := out.AddStrings(name, keyData[ki]); err != nil {
+			return nil, err
+		}
+	}
+	for ai, a := range aggs {
+		if err := out.AddFloats(a.As, aggData[ai]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Head returns the first n rows (or the whole frame if shorter).
+func (f *Frame) Head(n int) *Frame {
+	if n > f.NumRows() {
+		n = f.NumRows()
+	}
+	return f.takeRows(allRows(n))
+}
+
+// String renders a compact table for debugging.
+func (f *Frame) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(f.Names(), "\t"))
+	sb.WriteByte('\n')
+	n := f.NumRows()
+	const maxRows = 20
+	show := n
+	if show > maxRows {
+		show = maxRows
+	}
+	for i := 0; i < show; i++ {
+		for j, c := range f.cols {
+			if j > 0 {
+				sb.WriteByte('\t')
+			}
+			fmt.Fprintf(&sb, "%v", c.value(i))
+		}
+		sb.WriteByte('\n')
+	}
+	if show < n {
+		fmt.Fprintf(&sb, "... (%d more rows)\n", n-show)
+	}
+	return sb.String()
+}

@@ -1,0 +1,143 @@
+package frame
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// JoinKind selects join semantics.
+type JoinKind int
+
+// Join kinds.
+const (
+	// InnerJoin keeps rows with a match on both sides.
+	InnerJoin JoinKind = iota + 1
+	// LeftJoin keeps every left row; unmatched right columns get zero
+	// values ("" / 0 / NaN is not used — numeric columns get 0, string
+	// columns get "").
+	LeftJoin
+)
+
+// Join combines two frames on equality of the named key columns (which
+// must exist on both sides with identical kinds). Right-side key columns
+// are dropped from the output; non-key right columns that clash with left
+// column names are suffixed "_right". When the right side has multiple
+// rows per key, the left row is repeated for each (inner) or matched to
+// the first (left join keeps all matches too).
+func (f *Frame) Join(right *Frame, keys []string, kind JoinKind) (*Frame, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("frame: join requires at least one key")
+	}
+	leftKeyCols := make([]*Column, len(keys))
+	rightKeyCols := make([]*Column, len(keys))
+	for i, k := range keys {
+		lc, err := f.Column(k)
+		if err != nil {
+			return nil, fmt.Errorf("frame: join left: %w", err)
+		}
+		rc, err := right.Column(k)
+		if err != nil {
+			return nil, fmt.Errorf("frame: join right: %w", err)
+		}
+		if lc.Kind != rc.Kind {
+			return nil, fmt.Errorf("frame: join key %q kinds differ (%s vs %s)", k, lc.Kind, rc.Kind)
+		}
+		leftKeyCols[i] = lc
+		rightKeyCols[i] = rc
+	}
+	// Index the right side by key.
+	rightIndex := make(map[string][]int)
+	var sb strings.Builder
+	keyOf := func(cols []*Column, row int) string {
+		sb.Reset()
+		for _, c := range cols {
+			sb.WriteString(c.keyString(row))
+			sb.WriteByte(0)
+		}
+		return sb.String()
+	}
+	for i := 0; i < right.NumRows(); i++ {
+		k := keyOf(rightKeyCols, i)
+		rightIndex[k] = append(rightIndex[k], i)
+	}
+	// Build row index pairs.
+	var leftRows, rightRows []int // rightRows[i] == -1 for unmatched left join rows
+	for i := 0; i < f.NumRows(); i++ {
+		matches := rightIndex[keyOf(leftKeyCols, i)]
+		if len(matches) == 0 {
+			if kind == LeftJoin {
+				leftRows = append(leftRows, i)
+				rightRows = append(rightRows, -1)
+			}
+			continue
+		}
+		for _, j := range matches {
+			leftRows = append(leftRows, i)
+			rightRows = append(rightRows, j)
+		}
+	}
+	// Assemble output: all left columns, then right non-key columns.
+	out := New()
+	for _, c := range f.cols {
+		if err := out.addColumn(c.take(leftRows)); err != nil {
+			return nil, err
+		}
+	}
+	isKey := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		isKey[k] = true
+	}
+	for _, c := range right.cols {
+		if isKey[c.Name] {
+			continue
+		}
+		name := c.Name
+		if _, clash := out.index[name]; clash {
+			name = name + "_right"
+		}
+		col := takeWithMissing(c, rightRows)
+		col.Name = name
+		if err := out.addColumn(col); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// takeWithMissing copies rows from c at idx, substituting zero values where
+// idx is -1 (unmatched left-join rows).
+func takeWithMissing(c *Column, idx []int) *Column {
+	out := &Column{Name: c.Name, Kind: c.Kind}
+	switch c.Kind {
+	case Float:
+		out.Floats = make([]float64, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.Floats[j] = c.Floats[i]
+			}
+		}
+	case Int:
+		out.Ints = make([]int64, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.Ints[j] = c.Ints[i]
+			}
+		}
+	case String:
+		out.Strings = make([]string, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.Strings[j] = c.Strings[i]
+			}
+		}
+	case Time:
+		out.Times = make([]time.Time, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.Times[j] = c.Times[i]
+			}
+		}
+	}
+	return out
+}

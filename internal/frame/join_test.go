@@ -1,0 +1,147 @@
+package frame
+
+import "testing"
+
+func joinFixtures(t *testing.T) (*Frame, *Frame) {
+	t.Helper()
+	left := New()
+	if err := left.AddStrings("mfr", []string{"Waymo", "Bosch", "Nissan", "Waymo"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.AddFloats("dpm", []float64{0.001, 0.8, 0.04, 0.002}); err != nil {
+		t.Fatal(err)
+	}
+	right := New()
+	if err := right.AddStrings("mfr", []string{"Waymo", "Nissan", "Tesla"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.AddFloats("accidents", []float64{25, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	return left, right
+}
+
+func TestInnerJoin(t *testing.T) {
+	left, right := joinFixtures(t)
+	out, err := left.Join(right, []string{"mfr"}, InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bosch has no match, Waymo matches twice (two left rows).
+	if out.NumRows() != 3 {
+		t.Fatalf("inner join rows = %d, want 3", out.NumRows())
+	}
+	mfrs, _ := out.StringsCol("mfr")
+	acc, _ := out.Floats("accidents")
+	for i, m := range mfrs {
+		switch m {
+		case "Waymo":
+			if acc[i] != 25 {
+				t.Errorf("Waymo accidents = %g", acc[i])
+			}
+		case "Nissan":
+			if acc[i] != 1 {
+				t.Errorf("Nissan accidents = %g", acc[i])
+			}
+		default:
+			t.Errorf("unexpected row %q", m)
+		}
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	left, right := joinFixtures(t)
+	out, err := left.Join(right, []string{"mfr"}, LeftJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 4 {
+		t.Fatalf("left join rows = %d, want 4", out.NumRows())
+	}
+	mfrs, _ := out.StringsCol("mfr")
+	acc, _ := out.Floats("accidents")
+	foundBosch := false
+	for i, m := range mfrs {
+		if m == "Bosch" {
+			foundBosch = true
+			if acc[i] != 0 {
+				t.Errorf("unmatched Bosch accidents = %g, want zero value", acc[i])
+			}
+		}
+	}
+	if !foundBosch {
+		t.Error("left join dropped unmatched Bosch row")
+	}
+}
+
+func TestJoinNameClash(t *testing.T) {
+	left, right := joinFixtures(t)
+	if err := right.AddFloats("dpm", []float64{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := left.Join(right, []string{"mfr"}, InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Floats("dpm_right"); err != nil {
+		t.Errorf("clashing column not suffixed: %v", err)
+	}
+	// Original left column preserved.
+	dpm, err := out.Floats("dpm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dpm {
+		if v == 9 {
+			t.Error("left dpm overwritten by right")
+		}
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	left, right := joinFixtures(t)
+	if _, err := left.Join(right, nil, InnerJoin); err == nil {
+		t.Error("no keys: want error")
+	}
+	if _, err := left.Join(right, []string{"ghost"}, InnerJoin); err == nil {
+		t.Error("missing left key: want error")
+	}
+	other := New()
+	if err := other.AddFloats("mfr", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := left.Join(other, []string{"mfr"}, InnerJoin); err == nil {
+		t.Error("kind mismatch: want error")
+	}
+}
+
+func TestJoinMultiKey(t *testing.T) {
+	left := New()
+	if err := left.AddStrings("mfr", []string{"Waymo", "Waymo"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.AddStrings("year", []string{"2015-2016", "2016-2017"}); err != nil {
+		t.Fatal(err)
+	}
+	right := New()
+	if err := right.AddStrings("mfr", []string{"Waymo"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.AddStrings("year", []string{"2016-2017"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.AddFloats("miles", []float64{635868}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := left.Join(right, []string{"mfr", "year"}, InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 {
+		t.Fatalf("multi-key join rows = %d", out.NumRows())
+	}
+	years, _ := out.StringsCol("year")
+	if years[0] != "2016-2017" {
+		t.Errorf("joined year = %q", years[0])
+	}
+}

@@ -1,0 +1,337 @@
+// Package mission implements the stochastic fault-injection model the paper
+// calls for in its conclusions: "the machine learning systems responsible
+// for perception and control need further research and assessment under
+// fault conditions via stochastic modeling and fault injection to augment
+// data collection."
+//
+// The model is generative: per-mile fault rates for every fault tag are
+// fitted from the consolidated failure database, and missions (trips over
+// the STPA control structure) are then simulated forward. Each injected
+// fault either is detected by the ADS (automatic disengagement), is caught
+// by the safety driver inside the action window (manual disengagement), or
+// becomes an accident — reproducing the paper's detection-time +
+// reaction-time failure mode (finding 1). Simulated DPM/APM/DPA can then be
+// compared against the observed field metrics, and counterfactuals (slower
+// drivers, smaller action windows, better perception) explored.
+package mission
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"avfda/internal/core"
+	"avfda/internal/ontology"
+	"avfda/internal/schema"
+	"avfda/internal/stats"
+	"avfda/internal/stpa"
+)
+
+// Model is a fitted stochastic fault model of one fleet.
+type Model struct {
+	// TagRates holds per-autonomous-mile fault rates per fault tag.
+	TagRates map[ontology.Tag]float64
+	// DetectionProb is the probability the ADS detects an injected fault
+	// itself (automatic disengagement). Fitted from the observed
+	// automatic-vs-manual modality split.
+	DetectionProb float64
+	// Reaction is the safety-driver reaction-time distribution (seconds).
+	Reaction stats.Weibull
+	// ActionWindow is the distribution of time available between fault
+	// manifestation and an unavoidable accident (seconds). The paper's
+	// case studies show this window is small in complex traffic.
+	ActionWindow stats.Weibull
+	// DetectionDelay is the mean fault-detection latency (seconds) spent
+	// before the driver is alerted; it consumes part of the action window
+	// (the paper: reaction time excludes detection time, but both fit
+	// inside the same window).
+	DetectionDelay float64
+	// TripMiles is the mission length in miles.
+	TripMiles float64
+}
+
+// DefaultActionWindow is calibrated so that, with the fleet's fitted
+// reaction-time distribution, the simulated disengagements-per-accident
+// lands near the observed ~127: most faults leave several seconds to act,
+// but the left tail (complex intersections, the paper's case studies)
+// leaves less than the detection delay plus a slow reaction.
+func DefaultActionWindow() stats.Weibull {
+	return stats.Weibull{K: 2.2, Lambda: 8.6} // mean ~7.6 s; DPA lands near the field ~127
+}
+
+// Fit estimates a Model from the consolidated failure database: tag rates
+// from tag counts over total autonomous miles, detection probability from
+// the automatic share of non-planned disengagements, and the reaction
+// distribution from a Weibull fit of the pooled reaction times.
+func Fit(db *core.DB, tripMiles float64) (Model, error) {
+	if db == nil {
+		return Model{}, errors.New("mission: nil database")
+	}
+	if tripMiles <= 0 {
+		return Model{}, errors.New("mission: trip length must be positive")
+	}
+	var miles float64
+	for _, m := range db.Mileage {
+		miles += m.Miles
+	}
+	if miles <= 0 {
+		return Model{}, errors.New("mission: no autonomous miles in database")
+	}
+	m := Model{
+		TagRates:       make(map[ontology.Tag]float64),
+		ActionWindow:   DefaultActionWindow(),
+		DetectionDelay: 0.5,
+		TripMiles:      tripMiles,
+	}
+	var auto, manual float64
+	var reactions []float64
+	for _, e := range db.Events {
+		m.TagRates[e.Tag] += 1 / miles
+		switch e.Modality {
+		case schema.ModalityAutomatic:
+			auto++
+		case schema.ModalityManual:
+			manual++
+		}
+		if e.HasReaction() && e.ReactionSeconds < 3600 && e.ReactionSeconds > 0 {
+			reactions = append(reactions, e.ReactionSeconds)
+		}
+	}
+	if auto+manual > 0 {
+		m.DetectionProb = auto / (auto + manual)
+	} else {
+		m.DetectionProb = 0.5
+	}
+	if len(reactions) >= 3 {
+		w, err := stats.FitWeibull(reactions)
+		if err != nil {
+			return Model{}, fmt.Errorf("mission: reaction fit: %w", err)
+		}
+		m.Reaction = w
+	} else {
+		m.Reaction = stats.Weibull{K: 1.3, Lambda: 0.9}
+	}
+	return m, nil
+}
+
+// totalRate sums the per-mile fault rate over all tags.
+func (m Model) totalRate() float64 {
+	var r float64
+	for _, v := range m.TagRates {
+		r += v
+	}
+	return r
+}
+
+// Outcome classifies one injected fault's resolution.
+type Outcome int
+
+// Fault outcomes.
+const (
+	// OutcomeAutoDisengage: the ADS detected its own fault and handed over
+	// safely.
+	OutcomeAutoDisengage Outcome = iota + 1
+	// OutcomeManualDisengage: the driver caught the fault inside the
+	// action window.
+	OutcomeManualDisengage
+	// OutcomeAccident: neither the system nor the driver resolved the
+	// fault in time.
+	OutcomeAccident
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAutoDisengage:
+		return "automatic disengagement"
+	case OutcomeManualDisengage:
+		return "manual disengagement"
+	case OutcomeAccident:
+		return "accident"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Event is one injected fault and its resolution.
+type Event struct {
+	Mission int
+	Mile    float64
+	Tag     ontology.Tag
+	// Locus is the STPA component the fault was injected into.
+	Locus stpa.ComponentID
+	// Window and Reaction are the drawn action window and driver reaction
+	// times (seconds) for this fault.
+	Window, Reaction float64
+	Outcome          Outcome
+}
+
+// Stats aggregates a simulation campaign.
+type Stats struct {
+	Missions       int
+	Miles          float64
+	Faults         int
+	Automatic      int
+	Manual         int
+	Accidents      int
+	ByTag          map[ontology.Tag]int
+	ByOutcomeLocus map[stpa.ComponentID]int
+}
+
+// DPM returns simulated disengagements per mile.
+func (s Stats) DPM() float64 {
+	if s.Miles == 0 {
+		return 0
+	}
+	return float64(s.Automatic+s.Manual) / s.Miles
+}
+
+// APM returns simulated accidents per mile.
+func (s Stats) APM() float64 {
+	if s.Miles == 0 {
+		return 0
+	}
+	return float64(s.Accidents) / s.Miles
+}
+
+// DPA returns simulated disengagements per accident.
+func (s Stats) DPA() float64 {
+	if s.Accidents == 0 {
+		return 0
+	}
+	return float64(s.Automatic+s.Manual) / float64(s.Accidents)
+}
+
+// Campaign runs n missions under the model and returns aggregate stats and
+// (optionally, when collect is true) the individual fault events.
+func Campaign(m Model, n int, rng *rand.Rand, collect bool) (Stats, []Event, error) {
+	if rng == nil {
+		return Stats{}, nil, errors.New("mission: nil random source")
+	}
+	if n <= 0 {
+		return Stats{}, nil, errors.New("mission: need at least one mission")
+	}
+	total := m.totalRate()
+	if total < 0 {
+		return Stats{}, nil, errors.New("mission: negative fault rate")
+	}
+	// Sorted tags for deterministic cumulative sampling.
+	tags := make([]ontology.Tag, 0, len(m.TagRates))
+	for t := range m.TagRates {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+
+	st := Stats{
+		Missions:       n,
+		Miles:          float64(n) * m.TripMiles,
+		ByTag:          make(map[ontology.Tag]int),
+		ByOutcomeLocus: make(map[stpa.ComponentID]int),
+	}
+	var events []Event
+	interArrival := stats.Exponential{Lambda: total}
+	for mission := 0; mission < n; mission++ {
+		pos := 0.0
+		for total > 0 {
+			pos += interArrival.Rand(rng)
+			if pos >= m.TripMiles {
+				break
+			}
+			tag := drawTag(tags, m.TagRates, total, rng)
+			ev := m.resolveFault(mission, pos, tag, rng)
+			st.Faults++
+			st.ByTag[tag]++
+			switch ev.Outcome {
+			case OutcomeAutoDisengage:
+				st.Automatic++
+			case OutcomeManualDisengage:
+				st.Manual++
+			default:
+				st.Accidents++
+				st.ByOutcomeLocus[ev.Locus]++
+			}
+			if collect {
+				events = append(events, ev)
+			}
+		}
+	}
+	return st, events, nil
+}
+
+// drawTag samples a fault tag proportional to its rate.
+func drawTag(tags []ontology.Tag, rates map[ontology.Tag]float64, total float64, rng *rand.Rand) ontology.Tag {
+	u := rng.Float64() * total
+	var acc float64
+	for _, t := range tags {
+		acc += rates[t]
+		if u < acc {
+			return t
+		}
+	}
+	return tags[len(tags)-1]
+}
+
+// resolveFault plays out one injected fault: ADS detection, else the
+// driver's race between (detection delay + reaction time) and the action
+// window.
+func (m Model) resolveFault(mission int, mile float64, tag ontology.Tag, rng *rand.Rand) Event {
+	locus, err := stpa.TagLocus(tag)
+	if err != nil {
+		locus = stpa.CompPlanner
+	}
+	ev := Event{
+		Mission: mission,
+		Mile:    mile,
+		Tag:     tag,
+		Locus:   locus,
+		Window:  m.ActionWindow.Rand(rng),
+	}
+	if rng.Float64() < m.DetectionProb {
+		ev.Outcome = OutcomeAutoDisengage
+		return ev
+	}
+	ev.Reaction = m.Reaction.Rand(rng)
+	if m.DetectionDelay+ev.Reaction <= ev.Window {
+		ev.Outcome = OutcomeManualDisengage
+	} else {
+		ev.Outcome = OutcomeAccident
+	}
+	return ev
+}
+
+// Counterfactual is a named model variant for what-if analysis.
+type Counterfactual struct {
+	Name  string
+	Model Model
+}
+
+// WithReactionScale returns a variant with all driver reaction times scaled
+// (e.g. 2.0 = drivers twice as slow — the paper's alertness-decay risk).
+func (m Model) WithReactionScale(scale float64) Model {
+	out := m
+	out.Reaction = stats.Weibull{K: m.Reaction.K, Lambda: m.Reaction.Lambda * scale}
+	return out
+}
+
+// WithWindowScale returns a variant with the action window scaled (smaller
+// = denser traffic / later fault manifestation).
+func (m Model) WithWindowScale(scale float64) Model {
+	out := m
+	out.ActionWindow = stats.Weibull{K: m.ActionWindow.K, Lambda: m.ActionWindow.Lambda * scale}
+	return out
+}
+
+// WithTagRateScale returns a variant with one tag's fault rate scaled
+// (e.g. 0.5 = perception faults halved by a better recognition system).
+func (m Model) WithTagRateScale(tag ontology.Tag, scale float64) Model {
+	out := m
+	out.TagRates = make(map[ontology.Tag]float64, len(m.TagRates))
+	for t, r := range m.TagRates {
+		if t == tag {
+			r *= scale
+		}
+		out.TagRates[t] = r
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package mission
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"avfda/internal/core"
+	"avfda/internal/ontology"
+	"avfda/internal/stats"
+	"avfda/internal/synth"
+)
+
+var fittedCache *Model
+
+func fitted(t *testing.T) Model {
+	t.Helper()
+	if fittedCache == nil {
+		tr, err := synth.Generate(synth.Config{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := core.BuildWithTags(&tr.Corpus, tr.Tags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Fit(db, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fittedCache = &m
+	}
+	return *fittedCache
+}
+
+func TestFitBasics(t *testing.T) {
+	m := fitted(t)
+	// Total fault rate equals the corpus DPM (5328 / 1,116,605).
+	want := 5328.0 / 1116605.0
+	if math.Abs(m.totalRate()-want)/want > 1e-6 {
+		t.Errorf("total rate %.3g, want %.3g", m.totalRate(), want)
+	}
+	// Every analysis tag has a rate.
+	if len(m.TagRates) < 10 {
+		t.Errorf("only %d tags fitted", len(m.TagRates))
+	}
+	// Detection probability near the observed automatic share among
+	// auto+manual events (event-weighted; Tesla and VW's all-automatic
+	// fleets pull it above the paper's unweighted 48% average).
+	if m.DetectionProb < 0.45 || m.DetectionProb > 0.72 {
+		t.Errorf("detection prob %.3f", m.DetectionProb)
+	}
+	// Reaction fit near the 0.85 s fleet mean.
+	if mean := m.Reaction.Mean(); math.Abs(mean-0.85) > 0.3 {
+		t.Errorf("reaction mean %.2f", mean)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 10); err == nil {
+		t.Error("nil db: want error")
+	}
+	db := &core.DB{}
+	if _, err := Fit(db, 10); err == nil {
+		t.Error("no miles: want error")
+	}
+	tr, err := synth.Generate(synth.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.BuildWithTags(&tr.Corpus, tr.Tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fit(full, 0); err == nil {
+		t.Error("zero trip length: want error")
+	}
+}
+
+func TestCampaignReproducesFieldRates(t *testing.T) {
+	m := fitted(t)
+	rng := rand.New(rand.NewSource(9))
+	st, _, err := Campaign(m, 200000, rng, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated fault rate per mile matches the fitted rate.
+	simRate := float64(st.Faults) / st.Miles
+	if math.Abs(simRate-m.totalRate())/m.totalRate() > 0.05 {
+		t.Errorf("simulated fault rate %.3g vs fitted %.3g", simRate, m.totalRate())
+	}
+	// DPM + APM partitions the fault rate.
+	if got := st.DPM() + st.APM(); math.Abs(got-simRate) > 1e-12 {
+		t.Errorf("outcome partition broken: %.3g vs %.3g", got, simRate)
+	}
+	// Nearly all faults resolve as disengagements (the field data: 42
+	// accidents per 5328 disengagements, DPA ~127).
+	if st.Accidents == 0 {
+		t.Fatal("no simulated accidents — action-window race never lost")
+	}
+	if dpa := st.DPA(); dpa < 15 || dpa > 2000 {
+		t.Errorf("simulated DPA = %.0f, want within an order of magnitude of 127", dpa)
+	}
+	// Tag mix follows the rates: recognition dominates.
+	if st.ByTag[ontology.TagRecognitionSystem] < st.ByTag[ontology.TagNetwork] {
+		t.Error("tag sampling mix inverted")
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	m := fitted(t)
+	if _, _, err := Campaign(m, 10, nil, false); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, _, err := Campaign(m, 0, rand.New(rand.NewSource(1)), false); err == nil {
+		t.Error("zero missions: want error")
+	}
+}
+
+func TestCampaignCollectEvents(t *testing.T) {
+	m := fitted(t)
+	rng := rand.New(rand.NewSource(5))
+	st, events, err := Campaign(m, 20000, rng, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != st.Faults {
+		t.Fatalf("collected %d events for %d faults", len(events), st.Faults)
+	}
+	for _, ev := range events[:min(len(events), 200)] {
+		if ev.Mile < 0 || ev.Mile >= m.TripMiles {
+			t.Errorf("event mile %.2f outside trip", ev.Mile)
+		}
+		if ev.Outcome == OutcomeManualDisengage && m.DetectionDelay+ev.Reaction > ev.Window {
+			t.Error("manual disengage with lost race")
+		}
+		if ev.Outcome == OutcomeAccident && ev.Reaction > 0 && m.DetectionDelay+ev.Reaction <= ev.Window {
+			t.Error("accident with won race")
+		}
+		if ev.Locus == "" {
+			t.Error("event missing locus")
+		}
+	}
+}
+
+// The paper's finding 1: with the small action window, reaction-time-based
+// accidents become a frequent failure mode. Slower drivers and smaller
+// windows must both raise the accident rate.
+func TestCounterfactualSlowDriversAndSmallWindows(t *testing.T) {
+	m := fitted(t)
+	base, _, err := Campaign(m, 120000, rand.New(rand.NewSource(2)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _, err := Campaign(m.WithReactionScale(3), 120000, rand.New(rand.NewSource(2)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.APM() <= base.APM() {
+		t.Errorf("3x slower drivers: APM %.3g not above base %.3g", slow.APM(), base.APM())
+	}
+	tight, _, err := Campaign(m.WithWindowScale(0.3), 120000, rand.New(rand.NewSource(2)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.APM() <= base.APM() {
+		t.Errorf("0.3x action window: APM %.3g not above base %.3g", tight.APM(), base.APM())
+	}
+	// Better perception cuts the perception-tag fault count.
+	better := m.WithTagRateScale(ontology.TagRecognitionSystem, 0.2)
+	improved, _, err := Campaign(better, 120000, rand.New(rand.NewSource(2)), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.ByTag[ontology.TagRecognitionSystem] >= base.ByTag[ontology.TagRecognitionSystem] {
+		t.Error("recognition-rate cut did not reduce recognition faults")
+	}
+	if float64(improved.Faults) >= float64(base.Faults) {
+		t.Error("total faults should drop with a tag-rate cut")
+	}
+}
+
+func TestZeroRateModelIsSilent(t *testing.T) {
+	m := Model{
+		TagRates:     map[ontology.Tag]float64{},
+		Reaction:     stats.Weibull{K: 1.3, Lambda: 0.9},
+		ActionWindow: DefaultActionWindow(),
+		TripMiles:    10,
+	}
+	st, events, err := Campaign(m, 1000, rand.New(rand.NewSource(1)), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faults != 0 || len(events) != 0 {
+		t.Errorf("zero-rate model produced %d faults", st.Faults)
+	}
+	if st.Miles != 10000 {
+		t.Errorf("miles = %g", st.Miles)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{OutcomeAutoDisengage, OutcomeManualDisengage, OutcomeAccident} {
+		if o.String() == "" || o.String()[0] == 'O' {
+			t.Errorf("outcome %d has bad display name %q", o, o.String())
+		}
+	}
+	if Outcome(9).String() != "Outcome(9)" {
+		t.Error("fallback string wrong")
+	}
+}
+
+// Property: campaign determinism and monotonicity of accidents in reaction
+// scale.
+func TestCampaignDeterminismProperty(t *testing.T) {
+	m := fitted(t)
+	prop := func(seed int64) bool {
+		a, _, err := Campaign(m, 5000, rand.New(rand.NewSource(seed)), false)
+		if err != nil {
+			return false
+		}
+		b, _, err := Campaign(m, 5000, rand.New(rand.NewSource(seed)), false)
+		if err != nil {
+			return false
+		}
+		return statsEqual(a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(47))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func statsEqual(a, b Stats) bool {
+	if a.Missions != b.Missions || a.Faults != b.Faults ||
+		a.Automatic != b.Automatic || a.Manual != b.Manual ||
+		a.Accidents != b.Accidents {
+		return false
+	}
+	for t, n := range a.ByTag {
+		if b.ByTag[t] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

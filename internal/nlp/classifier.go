@@ -1,0 +1,287 @@
+package nlp
+
+import (
+	"errors"
+	"sort"
+
+	"avfda/internal/ontology"
+)
+
+// TieBreak selects how the classifier resolves equal vote counts between
+// tags.
+type TieBreak int
+
+// Tie-break policies (the ablation benches compare them).
+const (
+	// TieBreakPriority prefers the more specific tag per tagPriority.
+	TieBreakPriority TieBreak = iota + 1
+	// TieBreakFirstMatch prefers the lowest-numbered tag (arbitrary but
+	// deterministic), modeling a naive implementation.
+	TieBreakFirstMatch
+)
+
+// tagPriority orders tags from most to least specific for tie-breaking:
+// narrow hardware/watchdog vocabulary outranks broad environment phrasing.
+var tagPriority = []ontology.Tag{
+	ontology.TagHangCrash,
+	ontology.TagNetwork,
+	ontology.TagSensor,
+	ontology.TagComputerSystem,
+	ontology.TagSoftware,
+	ontology.TagAVControllerSystem,
+	ontology.TagAVControllerML,
+	ontology.TagIncorrectBehaviorPrediction,
+	ontology.TagRecognitionSystem,
+	ontology.TagPlanner,
+	ontology.TagDesignBug,
+	ontology.TagEnvironment,
+}
+
+// priorityRank returns the tie-break rank of t (lower wins).
+func priorityRank(t ontology.Tag) int {
+	for i, p := range tagPriority {
+		if p == t {
+			return i
+		}
+	}
+	return len(tagPriority)
+}
+
+// Options configures a Classifier.
+type Options struct {
+	// Stem toggles Porter stemming (ablation: accuracy drops without it).
+	Stem bool
+	// TieBreak selects the tie resolution policy.
+	TieBreak TieBreak
+	// BigramWeight is the vote weight of a matched bigram relative to a
+	// matched unigram (default 2).
+	BigramWeight int
+}
+
+// DefaultOptions returns the configuration used for the paper reproduction.
+func DefaultOptions() Options {
+	return Options{Stem: true, TieBreak: TieBreakPriority, BigramWeight: 2}
+}
+
+// Classifier assigns fault tags to disengagement cause texts by keyword
+// voting against a failure dictionary.
+type Classifier struct {
+	tok  *Tokenizer
+	opts Options
+	// Per tag: unigram and bigram keyword sets, normalized through tok.
+	unigrams map[ontology.Tag]map[string]struct{}
+	bigrams  map[ontology.Tag]map[string]struct{}
+}
+
+// Result is one classification outcome.
+type Result struct {
+	Tag      ontology.Tag
+	Category ontology.Category
+	// Score is the winning vote count (0 for Unknown-T).
+	Score int
+	// Matched lists the dictionary keywords that voted for the winning
+	// tag, sorted.
+	Matched []string
+}
+
+// NewClassifier compiles dict into a voting classifier. The dictionary is
+// normalized through the classifier's tokenizer, so stemming configuration
+// applies consistently to both dictionary and inputs.
+func NewClassifier(dict *Dictionary, opts Options) (*Classifier, error) {
+	if dict == nil {
+		return nil, errors.New("nlp: nil dictionary")
+	}
+	if opts.BigramWeight <= 0 {
+		opts.BigramWeight = 2
+	}
+	if opts.TieBreak == 0 {
+		opts.TieBreak = TieBreakPriority
+	}
+	c := &Classifier{
+		tok:      &Tokenizer{Stem: opts.Stem},
+		opts:     opts,
+		unigrams: make(map[ontology.Tag]map[string]struct{}),
+		bigrams:  make(map[ontology.Tag]map[string]struct{}),
+	}
+	for _, tag := range dict.Tags() {
+		uni := make(map[string]struct{})
+		bi := make(map[string]struct{})
+		for _, phrase := range dict.Phrases(tag) {
+			toks := c.tok.Tokens(phrase)
+			for _, t := range toks {
+				uni[t] = struct{}{}
+			}
+			for i := 0; i+1 < len(toks); i++ {
+				bi[toks[i]+" "+toks[i+1]] = struct{}{}
+			}
+		}
+		// Mined phrases vote only as exact bigrams (see Dictionary).
+		for _, phrase := range dict.BigramOnlyPhrases(tag) {
+			toks := c.tok.Tokens(phrase)
+			for i := 0; i+1 < len(toks); i++ {
+				bi[toks[i]+" "+toks[i+1]] = struct{}{}
+			}
+		}
+		c.unigrams[tag] = uni
+		c.bigrams[tag] = bi
+	}
+	return c, nil
+}
+
+// Classify maps one cause text to a fault tag and category. Texts sharing
+// no keyword with any tag return Unknown-T / Unknown-C with score 0.
+func (c *Classifier) Classify(text string) Result {
+	tokens := c.tok.Tokens(text)
+	tokenSet := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		tokenSet[t] = struct{}{}
+	}
+	bigramSet := make(map[string]struct{}, len(tokens))
+	for i := 0; i+1 < len(tokens); i++ {
+		bigramSet[tokens[i]+" "+tokens[i+1]] = struct{}{}
+	}
+
+	best := Result{Tag: ontology.TagUnknownT, Category: ontology.CategoryUnknownC}
+	bestRank := int(^uint(0) >> 1)
+	for _, tag := range tagPriority {
+		uni, ok := c.unigrams[tag]
+		if !ok {
+			continue
+		}
+		var score int
+		var matched []string
+		for kw := range uni {
+			if _, hit := tokenSet[kw]; hit {
+				score++
+				matched = append(matched, kw)
+			}
+		}
+		for kw := range c.bigrams[tag] {
+			if _, hit := bigramSet[kw]; hit {
+				score += c.opts.BigramWeight
+				matched = append(matched, kw)
+			}
+		}
+		if score == 0 {
+			continue
+		}
+		rank := priorityRank(tag)
+		if c.opts.TieBreak == TieBreakFirstMatch {
+			rank = int(tag)
+		}
+		if score > best.Score || (score == best.Score && rank < bestRank) {
+			sort.Strings(matched)
+			best = Result{
+				Tag:      tag,
+				Category: ontology.CategoryOf(tag),
+				Score:    score,
+				Matched:  matched,
+			}
+			bestRank = rank
+		}
+	}
+	return best
+}
+
+// ClassifyAll maps each text through Classify.
+func (c *Classifier) ClassifyAll(texts []string) []Result {
+	out := make([]Result, len(texts))
+	for i, t := range texts {
+		out[i] = c.Classify(t)
+	}
+	return out
+}
+
+// ExpandOptions configures dictionary expansion passes.
+type ExpandOptions struct {
+	// MinCount is the minimum corpus frequency for a candidate bigram
+	// (default 5).
+	MinCount int
+	// MinConcentration is the minimum fraction of a bigram's occurrences
+	// that must fall in texts already assigned to a single tag (default
+	// 0.8).
+	MinConcentration float64
+	// Passes is the number of classify-extract iterations (default 2),
+	// mirroring the paper's "several passes over the dataset".
+	Passes int
+}
+
+func (o ExpandOptions) withDefaults() ExpandOptions {
+	if o.MinCount <= 0 {
+		o.MinCount = 5
+	}
+	if o.MinConcentration <= 0 {
+		o.MinConcentration = 0.8
+	}
+	if o.Passes <= 0 {
+		o.Passes = 2
+	}
+	return o
+}
+
+// Expand grows dict by mining the corpus: each pass classifies every text
+// with the current dictionary, then promotes bigrams that are frequent and
+// concentrated in one tag's texts into that tag's phrase list. It returns
+// the expanded dictionary (the input is not modified) and the number of
+// phrases added.
+func Expand(dict *Dictionary, corpus []string, opts Options, eo ExpandOptions) (*Dictionary, int, error) {
+	eo = eo.withDefaults()
+	out := dict.Clone()
+	added := 0
+	for pass := 0; pass < eo.Passes; pass++ {
+		cls, err := NewClassifier(out, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		// bigram -> tag -> count over texts assigned to that tag.
+		counts := make(map[string]map[ontology.Tag]int)
+		totals := make(map[string]int)
+		for _, text := range corpus {
+			res := cls.Classify(text)
+			for _, bg := range cls.tok.Bigrams(text) {
+				totals[bg]++
+				if res.Tag == ontology.TagUnknownT {
+					continue
+				}
+				m := counts[bg]
+				if m == nil {
+					m = make(map[ontology.Tag]int)
+					counts[bg] = m
+				}
+				m[res.Tag]++
+			}
+		}
+		// Promote concentrated bigrams not already known, deterministically.
+		candidates := make([]string, 0, len(counts))
+		for bg := range counts {
+			candidates = append(candidates, bg)
+		}
+		sort.Strings(candidates)
+		passAdded := 0
+		for _, bg := range candidates {
+			if totals[bg] < eo.MinCount {
+				continue
+			}
+			var bestTag ontology.Tag
+			bestCount := 0
+			for tag, n := range counts[bg] {
+				if n > bestCount || (n == bestCount && tag < bestTag) {
+					bestTag, bestCount = tag, n
+				}
+			}
+			if float64(bestCount)/float64(totals[bg]) < eo.MinConcentration {
+				continue
+			}
+			if _, known := cls.bigrams[bestTag][bg]; known {
+				continue
+			}
+			out.AddBigramOnly(bestTag, bg)
+			passAdded++
+		}
+		added += passAdded
+		if passAdded == 0 {
+			break
+		}
+	}
+	return out, added, nil
+}

@@ -1,0 +1,223 @@
+package nlp
+
+import (
+	"sort"
+
+	"avfda/internal/ontology"
+)
+
+// Dictionary is the failure dictionary: for every fault tag, the keyword
+// phrases whose presence in a disengagement cause votes for that tag.
+// Phrases are stored raw; the classifier normalizes them through its own
+// tokenizer so stemming ablations stay consistent end to end.
+type Dictionary struct {
+	phrases map[ontology.Tag][]string
+	// bigramOnly holds phrases mined automatically by Expand. They vote
+	// only as exact bigrams: their individual words are unvetted, and
+	// letting them vote as unigrams lets one stray stem (e.g. "oper" from
+	// a promoted "safe oper") capture unrelated texts.
+	bigramOnly map[ontology.Tag][]string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{
+		phrases:    make(map[ontology.Tag][]string),
+		bigramOnly: make(map[ontology.Tag][]string),
+	}
+}
+
+// SeedDictionary returns the hand-verified failure dictionary described in
+// the paper (§IV, "Labeling and Tagging"): phrases extracted from raw
+// disengagement logs over several passes and checked manually by the
+// authors. Wording follows the vocabulary visible in the paper's Table II
+// excerpts and the DMV reports it cites.
+func SeedDictionary() *Dictionary {
+	d := NewDictionary()
+	add := d.Add
+	// Environment: sudden external factors (counted as perception-related
+	// ML in the category rollup, per §V-A2 footnote 5).
+	add(ontology.TagEnvironment,
+		"recklessly behaving road user",
+		"reckless road user",
+		"construction zone",
+		"emergency vehicle approaching",
+		"accident ahead traffic",
+		"debris on roadway",
+		"unexpected cyclist crossing",
+		"jaywalking pedestrian",
+		"heavy rain conditions",
+		"sun glare blinding",
+		"road conditions changed suddenly",
+	)
+	add(ontology.TagComputerSystem,
+		"processor overload",
+		"compute unit fault",
+		"cpu utilization exceeded",
+		"memory exhaustion onboard computer",
+		"hardware fault main computer",
+		"computer system error",
+	)
+	add(ontology.TagRecognitionSystem,
+		"did not see lead vehicle",
+		"failed to detect traffic light",
+		"failed to detect lane markings",
+		"misclassified object",
+		"perception system failure",
+		"false detection of obstacle",
+		"failed to recognize pedestrian",
+		"incorrect object tracking",
+		"recognition system error",
+	)
+	add(ontology.TagPlanner,
+		"incorrect motion plan",
+		"improper planning of maneuver",
+		"failed to anticipate driver",
+		"unwanted maneuver planned",
+		"trajectory planning error",
+		"planner produced infeasible path",
+		"poor lane change decision",
+	)
+	add(ontology.TagSensor,
+		"lidar failed to localize",
+		"gps localization lost",
+		"sensor dropout",
+		"radar return blocked",
+		"camera obstructed",
+		"localization timed out",
+		"sensor calibration drift",
+	)
+	add(ontology.TagNetwork,
+		"data rate exceeded network capacity",
+		"can bus overload",
+		"network latency exceeded threshold",
+		"dropped messages on vehicle bus",
+	)
+	add(ontology.TagDesignBug,
+		"not designed to handle",
+		"situation outside design domain",
+		"unsupported roadway configuration",
+		"unforeseen scenario encountered",
+	)
+	add(ontology.TagSoftware,
+		"software module froze",
+		"software crash",
+		"software hang",
+		"software bug detected",
+		"process terminated unexpectedly",
+		"system software error",
+		"application fault restart",
+	)
+	add(ontology.TagAVControllerSystem,
+		"controller not responding",
+		"controller unresponsive to commands",
+		"actuation command ignored",
+		"steering command rejected controller",
+	)
+	add(ontology.TagAVControllerML,
+		"controller wrong decision",
+		"controller incorrect prediction",
+		"bad control decision intersection",
+	)
+	add(ontology.TagHangCrash,
+		"watchdog error",
+		"watchdog timer expired",
+		"watchdog timeout reset",
+	)
+	add(ontology.TagIncorrectBehaviorPrediction,
+		"incorrect behavior prediction",
+		"behavior prediction wrong",
+		"failed to predict behavior of road user",
+	)
+	return d
+}
+
+// Add appends phrases to a tag's entry. Unknown-T cannot hold phrases.
+func (d *Dictionary) Add(tag ontology.Tag, phrases ...string) {
+	if tag == ontology.TagUnknownT {
+		return
+	}
+	d.phrases[tag] = append(d.phrases[tag], phrases...)
+}
+
+// AddBigramOnly appends mined phrases that may vote only as exact bigrams.
+func (d *Dictionary) AddBigramOnly(tag ontology.Tag, phrases ...string) {
+	if tag == ontology.TagUnknownT {
+		return
+	}
+	d.bigramOnly[tag] = append(d.bigramOnly[tag], phrases...)
+}
+
+// Phrases returns a copy of the hand-curated phrase list for tag.
+func (d *Dictionary) Phrases(tag ontology.Tag) []string {
+	src := d.phrases[tag]
+	out := make([]string, len(src))
+	copy(out, src)
+	return out
+}
+
+// BigramOnlyPhrases returns a copy of the mined phrase list for tag.
+func (d *Dictionary) BigramOnlyPhrases(tag ontology.Tag) []string {
+	src := d.bigramOnly[tag]
+	out := make([]string, len(src))
+	copy(out, src)
+	return out
+}
+
+// Tags returns the tags that have at least one phrase, in a stable order.
+func (d *Dictionary) Tags() []ontology.Tag {
+	seen := make(map[ontology.Tag]bool, len(d.phrases)+len(d.bigramOnly))
+	out := make([]ontology.Tag, 0, len(d.phrases)+len(d.bigramOnly))
+	for t := range d.phrases {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for t := range d.bigramOnly {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the total number of phrases across all tags, curated and
+// mined.
+func (d *Dictionary) Size() int {
+	n := 0
+	for _, p := range d.phrases {
+		n += len(p)
+	}
+	for _, p := range d.bigramOnly {
+		n += len(p)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the dictionary.
+func (d *Dictionary) Clone() *Dictionary {
+	out := NewDictionary()
+	for t, ps := range d.phrases {
+		out.phrases[t] = append([]string(nil), ps...)
+	}
+	for t, ps := range d.bigramOnly {
+		out.bigramOnly[t] = append([]string(nil), ps...)
+	}
+	return out
+}
+
+// Truncate returns a copy keeping at most n curated phrases per tag (for
+// the dictionary-size ablation); mined phrases are dropped.
+func (d *Dictionary) Truncate(n int) *Dictionary {
+	out := NewDictionary()
+	for t, ps := range d.phrases {
+		if len(ps) > n {
+			ps = ps[:n]
+		}
+		out.phrases[t] = append([]string(nil), ps...)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package nlp
+
+import "strings"
+
+// PorterStem reduces an English word to its stem using the classic Porter
+// (1980) algorithm. The implementation follows the original paper's five
+// steps; words of length <= 2 are returned unchanged.
+func PorterStem(word string) string {
+	w := strings.ToLower(word)
+	if len(w) <= 2 {
+		return w
+	}
+	w = porterStep1a(w)
+	w = porterStep1b(w)
+	w = porterStep1c(w)
+	w = porterStep2(w)
+	w = porterStep3(w)
+	w = porterStep4(w)
+	w = porterStep5(w)
+	return w
+}
+
+// isCons reports whether w[i] acts as a consonant in Porter's sense.
+func isCons(w string, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in w.
+func measure(w string) int {
+	n := 0
+	i := 0
+	l := len(w)
+	// Skip initial consonants.
+	for i < l && isCons(w, i) {
+		i++
+	}
+	for {
+		// Skip vowels.
+		for i < l && !isCons(w, i) {
+			i++
+		}
+		if i >= l {
+			return n
+		}
+		// Skip consonants.
+		for i < l && isCons(w, i) {
+			i++
+		}
+		n++
+		if i >= l {
+			return n
+		}
+	}
+}
+
+// hasVowel reports whether w contains a vowel.
+func hasVowel(w string) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w ends in a doubled consonant.
+func endsDoubleCons(w string) bool {
+	l := len(w)
+	if l < 2 {
+		return false
+	}
+	return w[l-1] == w[l-2] && isCons(w, l-1)
+}
+
+// endsCVC reports whether w ends consonant-vowel-consonant where the final
+// consonant is not w, x, or y.
+func endsCVC(w string) bool {
+	l := len(w)
+	if l < 3 {
+		return false
+	}
+	if !isCons(w, l-3) || isCons(w, l-2) || !isCons(w, l-1) {
+		return false
+	}
+	switch w[l-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// replaceSuffix returns w with old replaced by new when w ends in old and
+// the stem (w minus old) has measure >= minM. ok reports a replacement.
+func replaceSuffix(w, old, repl string, minM int) (string, bool) {
+	if !strings.HasSuffix(w, old) {
+		return w, false
+	}
+	stem := w[:len(w)-len(old)]
+	if measure(stem) < minM {
+		return w, false
+	}
+	return stem + repl, true
+}
+
+func porterStep1a(w string) string {
+	switch {
+	case strings.HasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case strings.HasSuffix(w, "ss"):
+		return w
+	case strings.HasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func porterStep1b(w string) string {
+	if strings.HasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem string
+	switch {
+	case strings.HasSuffix(w, "ed") && hasVowel(w[:len(w)-2]):
+		stem = w[:len(w)-2]
+	case strings.HasSuffix(w, "ing") && hasVowel(w[:len(w)-3]):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	switch {
+	case strings.HasSuffix(stem, "at"), strings.HasSuffix(stem, "bl"), strings.HasSuffix(stem, "iz"):
+		return stem + "e"
+	case endsDoubleCons(stem) && !strings.HasSuffix(stem, "l") &&
+		!strings.HasSuffix(stem, "s") && !strings.HasSuffix(stem, "z"):
+		return stem[:len(stem)-1]
+	case measure(stem) == 1 && endsCVC(stem):
+		return stem + "e"
+	}
+	return stem
+}
+
+func porterStep1c(w string) string {
+	if strings.HasSuffix(w, "y") && hasVowel(w[:len(w)-1]) {
+		return w[:len(w)-1] + "i"
+	}
+	return w
+}
+
+// step2Rules maps suffixes to replacements, applied when measure(stem) > 0.
+var step2Rules = []struct{ suffix, repl string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+	{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+	{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+	{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+	{"biliti", "ble"},
+}
+
+func porterStep2(w string) string {
+	for _, r := range step2Rules {
+		if out, ok := replaceSuffix(w, r.suffix, r.repl, 1); ok {
+			return out
+		}
+		if strings.HasSuffix(w, r.suffix) {
+			return w // suffix matched but measure too small; stop searching
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ suffix, repl string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func porterStep3(w string) string {
+	for _, r := range step3Rules {
+		if out, ok := replaceSuffix(w, r.suffix, r.repl, 1); ok {
+			return out
+		}
+		if strings.HasSuffix(w, r.suffix) {
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func porterStep4(w string) string {
+	// "ion" requires the stem to end in s or t.
+	if strings.HasSuffix(w, "ion") {
+		stem := w[:len(w)-3]
+		if measure(stem) > 1 && (strings.HasSuffix(stem, "s") || strings.HasSuffix(stem, "t")) {
+			return stem
+		}
+		return w
+	}
+	for _, s := range step4Suffixes {
+		if strings.HasSuffix(w, s) {
+			stem := w[:len(w)-len(s)]
+			if measure(stem) > 1 {
+				return stem
+			}
+			return w
+		}
+	}
+	return w
+}
+
+func porterStep5(w string) string {
+	// Step 5a.
+	if strings.HasSuffix(w, "e") {
+		stem := w[:len(w)-1]
+		m := measure(stem)
+		if m > 1 || (m == 1 && !endsCVC(stem)) {
+			w = stem
+		}
+	}
+	// Step 5b.
+	if measure(w) > 1 && endsDoubleCons(w) && strings.HasSuffix(w, "l") {
+		w = w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,270 @@
+package parse
+
+import (
+	"strings"
+
+	"avfda/internal/schema"
+)
+
+// resolveManufacturer parses a manufacturer name, falling back to fuzzy
+// matching against the known vendor names when OCR damaged the value — a
+// single substituted character must not discard a whole annual report.
+// Word prefixes of the value are also tried, because an OCR line merge can
+// glue the next header line onto the name ("Delphi Reporting Period: ...").
+func resolveManufacturer(val string) (schema.Manufacturer, bool) {
+	candidates := []string{val}
+	words := strings.Fields(val)
+	for n := 1; n <= 3 && n < len(words); n++ {
+		candidates = append(candidates, strings.Join(words[:n], " "))
+	}
+	for _, cand := range candidates {
+		if m, ok := schema.ParseManufacturer(cand); ok {
+			return m, true
+		}
+	}
+	best := schema.Manufacturer("")
+	bestDist := 3 // accept up to 2 edits
+	for _, cand := range candidates {
+		for _, m := range schema.AllManufacturers() {
+			d := levenshtein(strings.ToLower(cand), strings.ToLower(string(m)))
+			if d < bestDist {
+				best, bestDist = m, d
+			}
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	return best, true
+}
+
+// OCR-tolerant string matching: field keys and section markers damaged by
+// character substitutions still need to be recognized, and digits decoded
+// as lookalike letters need to be repaired before numeric parsing.
+
+// cleanNumeric repairs the standard OCR confusions inside fields that are
+// known to be numeric or date-like (O→0, l/I→1, S→5, B→8, Z→2, G→6).
+func cleanNumeric(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case 'O', 'o':
+			return '0'
+		case 'l', 'I':
+			return '1'
+		case 'S':
+			return '5'
+		case 'B':
+			return '8'
+		case 'Z':
+			return '2'
+		case 'G':
+			return '6'
+		default:
+			return r
+		}
+	}, s)
+}
+
+// isSectionMarker reports whether a body line carries the given section
+// phrase. OCR substitutions on capitals are undone by mapping the digit
+// lookalikes back to letters (0→O, 1→I, 5→S, 8→B, 2→Z, 6→G), then an exact
+// substring match runs on the line head — O(n) per line, robust to the
+// substitutions the noise model produces, and still correct when a line
+// merge glued the marker to the following data row.
+func isSectionMarker(line, phrase string) bool {
+	head := line
+	if len(head) > 64 {
+		head = head[:64]
+	}
+	norm := strings.Map(func(r rune) rune {
+		switch r {
+		case '0':
+			return 'O'
+		case '1':
+			return 'I'
+		case '5':
+			return 'S'
+		case '8':
+			return 'B'
+		case '2':
+			return 'Z'
+		case '6':
+			return 'G'
+		default:
+			return r
+		}
+	}, strings.ToUpper(head))
+	return strings.Contains(norm, phrase)
+}
+
+// vehicleRegistry canonicalizes OCR-damaged vehicle identifiers within one
+// report: an ID that differs from a previously seen ID in exactly one
+// *confusable* character pair (0/O, 1/l, 5/S, ...) is the same vehicle — a
+// substituted character must not mint a phantom car and skew the per-car
+// DPM distributions. Plain edit distance would be wrong here: legitimate
+// sequential IDs (car01 vs car02) also differ by one character. Mileage
+// tables precede event tables in every report, so the registry is seeded
+// with (mostly clean, oft-repeated) mileage IDs before events resolve
+// against it.
+type vehicleRegistry struct {
+	seen   map[schema.VehicleID]int
+	counts map[schema.VehicleID]int
+}
+
+func newVehicleRegistry() *vehicleRegistry {
+	return &vehicleRegistry{
+		seen:   make(map[schema.VehicleID]int),
+		counts: make(map[schema.VehicleID]int),
+	}
+}
+
+// resolve maps id to its canonical form, registering it when new.
+func (r *vehicleRegistry) resolve(id schema.VehicleID) schema.VehicleID {
+	if id == "" {
+		return id
+	}
+	if _, ok := r.seen[id]; ok {
+		r.counts[id]++
+		return id
+	}
+	best := schema.VehicleID("")
+	bestCount := -1
+	for known := range r.seen {
+		if confusableVariant(string(known), string(id)) && r.counts[known] > bestCount {
+			best, bestCount = known, r.counts[known]
+		}
+	}
+	if best != "" {
+		r.counts[best]++
+		return best
+	}
+	r.seen[id] = len(r.seen)
+	r.counts[id] = 1
+	return id
+}
+
+// confusablePairs lists the symmetric OCR lookalike classes the noise model
+// produces (mirror of the ocr package's confusion table).
+var confusablePairs = buildConfusablePairs()
+
+func buildConfusablePairs() map[[2]rune]bool {
+	out := make(map[[2]rune]bool, 28)
+	pairs := [][2]rune{
+		{'0', 'O'}, {'1', 'l'}, {'1', 'I'}, {'l', 'I'}, {'5', 'S'},
+		{'8', 'B'}, {'2', 'Z'}, {'6', 'G'}, {'g', 'q'}, {'e', 'c'},
+		{'n', 'h'}, {'u', 'v'}, {'a', 'o'}, {'t', 'f'},
+	}
+	for _, p := range pairs {
+		out[p] = true
+		out[[2]rune{p[1], p[0]}] = true
+	}
+	return out
+}
+
+// confusableVariant reports whether a and b are equal up to OCR-confusable
+// substitutions (at least one differing position, all differences
+// confusable).
+func confusableVariant(a, b string) bool {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) != len(rb) {
+		return false
+	}
+	diffs := 0
+	for i := range ra {
+		if ra[i] == rb[i] {
+			continue
+		}
+		if !confusablePairs[[2]rune{ra[i], rb[i]}] {
+			return false
+		}
+		diffs++
+	}
+	return diffs > 0
+}
+
+// fuzzyEqual reports whether a and b match within an edit distance budget
+// proportional to their length (1 edit per 8 characters, minimum 1),
+// case-insensitively.
+func fuzzyEqual(a, b string) bool {
+	a = strings.ToLower(strings.TrimSpace(a))
+	b = strings.ToLower(strings.TrimSpace(b))
+	if a == b {
+		return true
+	}
+	budget := len(b)/8 + 1
+	if abs(len(a)-len(b)) > budget {
+		return false
+	}
+	return levenshtein(a, b) <= budget
+}
+
+// fuzzyContains reports whether text contains a substring fuzzily equal to
+// needle (sliding window at needle length ±1).
+func fuzzyContains(text, needle string) bool {
+	text = strings.ToLower(text)
+	needle = strings.ToLower(needle)
+	if strings.Contains(text, needle) {
+		return true
+	}
+	n := len(needle)
+	if n == 0 || len(text) < n-1 {
+		return false
+	}
+	budget := n/8 + 1
+	for w := n - 1; w <= n+1; w++ {
+		if w <= 0 || w > len(text) {
+			continue
+		}
+		for i := 0; i+w <= len(text); i++ {
+			if levenshtein(text[i:i+w], needle) <= budget {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// levenshtein computes the edit distance between a and b with the standard
+// two-row dynamic program.
+func levenshtein(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

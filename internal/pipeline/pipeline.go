@@ -1,0 +1,267 @@
+// Package pipeline wires the four stages of the paper's Fig. 1 together:
+//
+//	Stage I   data collection  — synthetic corpus (package synth) rendered
+//	                             to scanned documents (package scandoc)
+//	Stage II  digitization     — OCR with noise + manual fallback (ocr),
+//	                             parsing/normalization (parse)
+//	Stage III NLP              — failure dictionary + voting classifier
+//	                             (nlp), optionally corpus-expanded
+//	Stage IV  analysis         — consolidated failure DB (core)
+//
+// The result carries per-stage diagnostics (OCR artifacts, parse defects,
+// tag-recovery accuracy against the planted ground truth) so experiments
+// can attribute end-to-end error to individual stages.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"avfda/internal/core"
+	"avfda/internal/nlp"
+	"avfda/internal/ocr"
+	"avfda/internal/ontology"
+	"avfda/internal/parse"
+	"avfda/internal/scandoc"
+	"avfda/internal/schema"
+	"avfda/internal/synth"
+)
+
+// Config parameterizes an end-to-end run.
+type Config struct {
+	// Synth configures corpus generation (Stage I).
+	Synth synth.Config
+	// OCR configures the digitization noise model (Stage II).
+	OCR ocr.Config
+	// NLP configures the classifier (Stage III).
+	NLP nlp.Options
+	// ExpandDictionary enables the corpus-mining dictionary passes the
+	// paper describes ("several passes over the dataset").
+	ExpandDictionary bool
+	// Expand tunes the expansion when enabled.
+	Expand nlp.ExpandOptions
+}
+
+// DefaultConfig returns the configuration used for the reproduction runs.
+func DefaultConfig() Config {
+	return Config{
+		Synth:            synth.Config{Seed: 1},
+		OCR:              ocr.DefaultConfig(),
+		NLP:              nlp.DefaultOptions(),
+		ExpandDictionary: true,
+	}
+}
+
+// OCRStats aggregates digitization diagnostics across all documents.
+type OCRStats struct {
+	Documents         int
+	Pages             int
+	ManualPages       int
+	Substitutions     int
+	DroppedSeparators int
+	MergedLines       int
+	MeanConfidence    float64
+}
+
+// Accuracy scores recovered tags against the planted ground truth, matched
+// by (manufacturer, vehicle, timestamp).
+type Accuracy struct {
+	// Matched counts recovered events that were matched to a truth event.
+	Matched int
+	// TagCorrect and CategoryCorrect count matched events whose recovered
+	// tag/category equals the planted one.
+	TagCorrect      int
+	CategoryCorrect int
+	// Confusion counts matched events by (planted, recovered) tag pair —
+	// the classifier's confusion matrix.
+	Confusion map[[2]ontology.Tag]int
+}
+
+// TopConfusions returns the most frequent off-diagonal confusion pairs,
+// most common first, at most n entries.
+func (a Accuracy) TopConfusions(n int) []ConfusionPair {
+	var out []ConfusionPair
+	for pair, count := range a.Confusion {
+		if pair[0] == pair[1] {
+			continue
+		}
+		out = append(out, ConfusionPair{Want: pair[0], Got: pair[1], Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Want != out[j].Want {
+			return out[i].Want < out[j].Want
+		}
+		return out[i].Got < out[j].Got
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ConfusionPair is one off-diagonal confusion-matrix cell.
+type ConfusionPair struct {
+	Want, Got ontology.Tag
+	Count     int
+}
+
+// TagAccuracy returns the tag-level recovery rate.
+func (a Accuracy) TagAccuracy() float64 {
+	if a.Matched == 0 {
+		return 0
+	}
+	return float64(a.TagCorrect) / float64(a.Matched)
+}
+
+// CategoryAccuracy returns the category-level recovery rate.
+func (a Accuracy) CategoryAccuracy() float64 {
+	if a.Matched == 0 {
+		return 0
+	}
+	return float64(a.CategoryCorrect) / float64(a.Matched)
+}
+
+// Result is the output of a pipeline run.
+type Result struct {
+	// Truth is the generated corpus with planted labels (Stage I).
+	Truth *synth.Truth
+	// Recovered is the corpus as reconstructed by Stage II.
+	Recovered *schema.Corpus
+	// DB is the consolidated failure database (Stage III+IV input).
+	DB *core.DB
+	// ParseReport carries Stage II defects.
+	ParseReport *parse.Report
+	// OCR carries Stage II digitization diagnostics.
+	OCR OCRStats
+	// Accuracy scores Stage III against the planted labels.
+	Accuracy Accuracy
+	// DictionarySize is the final failure-dictionary size (after
+	// expansion when enabled).
+	DictionarySize int
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+}
+
+// Run executes the full pipeline.
+func Run(cfg Config) (*Result, error) {
+	start := time.Now()
+	truth, err := synth.Generate(cfg.Synth)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage I: %w", err)
+	}
+	res, err := RunOnCorpus(cfg, &truth.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	res.Truth = truth
+	res.Accuracy = scoreAccuracy(truth, res.DB)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// RunOnCorpus executes Stages II-IV on an existing normalized corpus: it
+// renders the corpus to documents, digitizes, parses, classifies, and
+// consolidates. Use this entry point for real (non-synthetic) data that
+// has already been transcribed into schema form.
+func RunOnCorpus(cfg Config, corpus *schema.Corpus) (*Result, error) {
+	start := time.Now()
+	docs := scandoc.Render(corpus)
+
+	engine, err := ocr.NewEngine(cfg.OCR)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage II (ocr): %w", err)
+	}
+	// Per-document noise derivation makes parallel decoding byte-identical
+	// to sequential, so digitization fans out across cores.
+	decoded, err := engine.DecodeAllConcurrent(context.Background(), docs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage II (ocr): %w", err)
+	}
+	var ocrStats OCRStats
+	var confSum float64
+	inputs := make([]parse.Input, 0, len(decoded))
+	for _, d := range decoded {
+		ocrStats.Documents++
+		ocrStats.Pages += d.TotalPages
+		ocrStats.ManualPages += d.ManualPages
+		ocrStats.Substitutions += d.Substitutions
+		ocrStats.DroppedSeparators += d.DroppedSeparators
+		ocrStats.MergedLines += d.MergedLines
+		confSum += d.Confidence
+		inputs = append(inputs, parse.Input{DocID: d.DocID, Lines: d.Lines})
+	}
+	if ocrStats.Documents > 0 {
+		ocrStats.MeanConfidence = confSum / float64(ocrStats.Documents)
+	}
+
+	recovered, parseReport, err := parse.Parse(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage II (parse): %w", err)
+	}
+
+	dict := nlp.SeedDictionary()
+	if cfg.ExpandDictionary {
+		causes := make([]string, 0, len(recovered.Disengagements))
+		for _, d := range recovered.Disengagements {
+			causes = append(causes, d.Cause)
+		}
+		expanded, _, err := nlp.Expand(dict, causes, cfg.NLP, cfg.Expand)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: stage III (expand): %w", err)
+		}
+		dict = expanded
+	}
+	cls, err := nlp.NewClassifier(dict, cfg.NLP)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage III: %w", err)
+	}
+	db, err := core.Build(recovered, cls)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: stage IV: %w", err)
+	}
+	return &Result{
+		Recovered:      recovered,
+		DB:             db,
+		ParseReport:    parseReport,
+		OCR:            ocrStats,
+		DictionarySize: dict.Size(),
+		Elapsed:        time.Since(start),
+	}, nil
+}
+
+// eventKey identifies a disengagement across the truth/recovered corpora.
+type eventKey struct {
+	m schema.Manufacturer
+	v schema.VehicleID
+	t int64
+}
+
+// scoreAccuracy matches recovered events to planted ones and scores tag and
+// category recovery.
+func scoreAccuracy(truth *synth.Truth, db *core.DB) Accuracy {
+	want := make(map[eventKey]ontology.Tag, len(truth.Tags))
+	for i, d := range truth.Corpus.Disengagements {
+		want[eventKey{d.Manufacturer, d.Vehicle, d.Time.Unix()}] = truth.Tags[i]
+	}
+	acc := Accuracy{Confusion: make(map[[2]ontology.Tag]int)}
+	for _, e := range db.Events {
+		tag, ok := want[eventKey{e.Manufacturer, e.Vehicle, e.Time.Unix()}]
+		if !ok {
+			continue
+		}
+		acc.Matched++
+		acc.Confusion[[2]ontology.Tag{tag, e.Tag}]++
+		if e.Tag == tag {
+			acc.TagCorrect++
+		}
+		if ontology.CategoryOf(tag) == e.Category {
+			acc.CategoryCorrect++
+		}
+	}
+	return acc
+}

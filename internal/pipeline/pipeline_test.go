@@ -1,0 +1,251 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"avfda/internal/calib"
+	"avfda/internal/ocr"
+	"avfda/internal/schema"
+)
+
+// runOnce caches a default end-to-end run for the integration assertions.
+var cached *Result
+
+func run(t *testing.T) *Result {
+	t.Helper()
+	if cached == nil {
+		res, err := Run(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached = res
+	}
+	return cached
+}
+
+func TestEndToEndRecoversCounts(t *testing.T) {
+	res := run(t)
+	// Default OCR noise loses under 3% of rows (merge-tolerant headers
+	// keep whole documents from being dropped).
+	gotEvents := len(res.DB.Events)
+	if float64(gotEvents) < 0.97*float64(calib.TotalDisengagements) {
+		t.Errorf("recovered %d of %d disengagements", gotEvents, calib.TotalDisengagements)
+	}
+	if res.ParseReport.SkippedDocs != 0 {
+		t.Errorf("%d documents skipped at default noise", res.ParseReport.SkippedDocs)
+	}
+	if gotEvents > calib.TotalDisengagements {
+		t.Errorf("recovered MORE events (%d) than planted (%d)", gotEvents, calib.TotalDisengagements)
+	}
+	if got := len(res.DB.Accidents); got < 40 || got > calib.TotalAccidents {
+		t.Errorf("recovered %d accidents, want ~%d", got, calib.TotalAccidents)
+	}
+	miles := 0.0
+	for _, m := range res.DB.Mileage {
+		miles += m.Miles
+	}
+	if math.Abs(miles-calib.TotalMiles) > 0.05*calib.TotalMiles {
+		t.Errorf("recovered %.0f miles, want ~%.0f", miles, calib.TotalMiles)
+	}
+}
+
+func TestEndToEndTagAccuracy(t *testing.T) {
+	res := run(t)
+	if res.Accuracy.Matched < 5000 {
+		t.Fatalf("matched only %d events to ground truth", res.Accuracy.Matched)
+	}
+	if acc := res.Accuracy.TagAccuracy(); acc < 0.90 {
+		t.Errorf("tag recovery accuracy = %.3f, want >= 0.90", acc)
+	}
+	if acc := res.Accuracy.CategoryAccuracy(); acc < 0.92 {
+		t.Errorf("category recovery accuracy = %.3f, want >= 0.92", acc)
+	}
+}
+
+func TestEndToEndHeadlineResults(t *testing.T) {
+	res := run(t)
+	// The paper's headline survives the full noisy pipeline: ~64% of
+	// disengagements from the ML system.
+	s := res.DB.OverallCategoryShares()
+	if math.Abs(s.MLDesign-calib.MLDesignShare) > 0.07 {
+		t.Errorf("end-to-end ML share = %.3f, paper %.2f", s.MLDesign, calib.MLDesignShare)
+	}
+	// Fig. 8 correlation survives.
+	lc, err := res.DB.PooledLogCorrelation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.R > -0.6 {
+		t.Errorf("end-to-end pooled r = %.3f, want strongly negative", lc.R)
+	}
+	// Reaction mean survives.
+	mean, err := res.DB.MeanReaction(3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-calib.MeanReactionSeconds) > 0.3 {
+		t.Errorf("end-to-end mean reaction = %.3f", mean)
+	}
+	// Tesla's vague causes stay Unknown through the live NLP stage
+	// (Table IV: 98.35% Unknown-C).
+	for _, r := range res.DB.CategoryBreakdown() {
+		if r.Manufacturer == schema.Tesla && r.UnknownPct < 90 {
+			t.Errorf("end-to-end Tesla Unknown-C = %.1f%%, want > 90%%", r.UnknownPct)
+		}
+	}
+}
+
+func TestEndToEndDiagnostics(t *testing.T) {
+	res := run(t)
+	if res.OCR.Documents < 50 {
+		t.Errorf("documents = %d", res.OCR.Documents)
+	}
+	if res.OCR.Pages <= res.OCR.Documents {
+		t.Errorf("pages = %d for %d documents", res.OCR.Pages, res.OCR.Documents)
+	}
+	if res.OCR.Substitutions == 0 {
+		t.Error("default noise should introduce substitutions")
+	}
+	if res.OCR.MeanConfidence <= 0.9 || res.OCR.MeanConfidence > 1 {
+		t.Errorf("mean confidence = %.3f", res.OCR.MeanConfidence)
+	}
+	if res.ParseReport.DefectRate() > 0.05 {
+		t.Errorf("defect rate = %.4f", res.ParseReport.DefectRate())
+	}
+	if res.DictionarySize < 60 {
+		t.Errorf("dictionary size = %d, expected seed + expansion", res.DictionarySize)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	res := run(t)
+	if len(res.Accuracy.Confusion) == 0 {
+		t.Fatal("no confusion matrix")
+	}
+	// Diagonal mass equals TagCorrect.
+	var diag, total int
+	for pair, n := range res.Accuracy.Confusion {
+		total += n
+		if pair[0] == pair[1] {
+			diag += n
+		}
+	}
+	if diag != res.Accuracy.TagCorrect {
+		t.Errorf("diagonal %d != TagCorrect %d", diag, res.Accuracy.TagCorrect)
+	}
+	if total != res.Accuracy.Matched {
+		t.Errorf("confusion total %d != matched %d", total, res.Accuracy.Matched)
+	}
+	// TopConfusions is off-diagonal, sorted descending, bounded.
+	top := res.Accuracy.TopConfusions(5)
+	if len(top) > 5 {
+		t.Errorf("TopConfusions returned %d", len(top))
+	}
+	for i, c := range top {
+		if c.Want == c.Got {
+			t.Error("diagonal entry in TopConfusions")
+		}
+		if i > 0 && c.Count > top[i-1].Count {
+			t.Error("TopConfusions not sorted")
+		}
+	}
+}
+
+func TestCleanPipelineIsLossless(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OCR = ocr.Clean()
+	cfg.Synth.Seed = 5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DB.Events) != calib.TotalDisengagements {
+		t.Errorf("clean pipeline recovered %d of %d events", len(res.DB.Events), calib.TotalDisengagements)
+	}
+	if len(res.ParseReport.Defects) != 0 {
+		t.Errorf("clean pipeline produced %d defects", len(res.ParseReport.Defects))
+	}
+	if res.Accuracy.Matched != calib.TotalDisengagements {
+		t.Errorf("matched %d of %d", res.Accuracy.Matched, calib.TotalDisengagements)
+	}
+}
+
+func TestNoExpansionStillWorks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ExpandDictionary = false
+	cfg.OCR = ocr.Clean()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Accuracy.TagAccuracy(); acc < 0.85 {
+		t.Errorf("seed-dictionary-only accuracy = %.3f", acc)
+	}
+}
+
+func TestRunOnCorpusDirect(t *testing.T) {
+	// A tiny hand-built corpus through Stages II-IV.
+	corpus := &schema.Corpus{
+		Fleets: []schema.Fleet{{Manufacturer: schema.Nissan, ReportYear: schema.Report2016, Cars: 1}},
+		Mileage: []schema.MonthlyMileage{{
+			Manufacturer: schema.Nissan, Vehicle: "n1", ReportYear: schema.Report2016,
+			Month: schema.StudyStart, Miles: 100,
+		}},
+		Disengagements: []schema.Disengagement{{
+			Manufacturer: schema.Nissan, Vehicle: "n1", ReportYear: schema.Report2016,
+			Time: schema.StudyStart.Add(1000), Cause: "Software module froze",
+			Modality: schema.ModalityManual, ReactionSeconds: 0.9,
+		}},
+	}
+	cfg := DefaultConfig()
+	cfg.OCR = ocr.Clean()
+	cfg.ExpandDictionary = false
+	res, err := RunOnCorpus(cfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DB.Events) != 1 {
+		t.Fatalf("events = %d", len(res.DB.Events))
+	}
+	if res.DB.Events[0].Tag.String() != "Software" {
+		t.Errorf("tag = %s", res.DB.Events[0].Tag)
+	}
+	if res.Truth != nil {
+		t.Error("RunOnCorpus should not fabricate truth")
+	}
+}
+
+func TestHeadlineStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full pipeline runs")
+	}
+	// The ML/Design headline must not be a one-seed artifact.
+	for _, seed := range []int64{11, 12, 13} {
+		cfg := DefaultConfig()
+		cfg.Synth.Seed = seed
+		cfg.OCR.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.DB.OverallCategoryShares()
+		if math.Abs(s.MLDesign-calib.MLDesignShare) > 0.07 {
+			t.Errorf("seed %d: ML share %.3f", seed, s.MLDesign)
+		}
+		if res.Accuracy.TagAccuracy() < 0.9 {
+			t.Errorf("seed %d: tag accuracy %.3f", seed, res.Accuracy.TagAccuracy())
+		}
+	}
+}
+
+func TestBadOCRConfigSurfaces(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OCR.SubstitutionRate = 2
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid OCR config: want error")
+	}
+}

@@ -1,0 +1,6 @@
+package reliability
+
+import "avfda/internal/stats"
+
+// statsChiSquareCDF aliases the stats chi-square CDF for tests.
+var statsChiSquareCDF = stats.ChiSquareCDF

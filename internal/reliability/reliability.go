@@ -1,0 +1,294 @@
+// Package reliability implements the reliability metrics and statistical
+// models of the paper's Section V-B/V-C: disengagements per mile (DPM),
+// accidents per mile (APM), disengagements per accident (DPA), accidents
+// per mission (APMi), comparison baselines (human drivers, airline,
+// surgical robotics), and the Kalra–Paddock mileage-significance model [36]
+// used to qualify the small-sample accident statistics.
+package reliability
+
+import (
+	"errors"
+	"math"
+
+	"avfda/internal/calib"
+	"avfda/internal/stats"
+)
+
+// DPM returns disengagements per autonomous mile.
+func DPM(disengagements int, miles float64) (float64, error) {
+	if miles <= 0 {
+		return 0, errors.New("reliability: DPM requires positive miles")
+	}
+	if disengagements < 0 {
+		return 0, errors.New("reliability: negative disengagement count")
+	}
+	return float64(disengagements) / miles, nil
+}
+
+// DPA returns disengagements per accident.
+func DPA(disengagements, accidents int) (float64, error) {
+	if accidents <= 0 {
+		return 0, errors.New("reliability: DPA requires at least one accident")
+	}
+	if disengagements < 0 {
+		return 0, errors.New("reliability: negative disengagement count")
+	}
+	return float64(disengagements) / float64(accidents), nil
+}
+
+// APMFromDPM returns accidents per mile computed as the paper does for
+// VIN-redacted reports: APM = DPM / DPA.
+func APMFromDPM(dpm, dpa float64) (float64, error) {
+	if dpa <= 0 {
+		return 0, errors.New("reliability: APM requires positive DPA")
+	}
+	if dpm < 0 {
+		return 0, errors.New("reliability: negative DPM")
+	}
+	return dpm / dpa, nil
+}
+
+// APM returns accidents per mile from first principles (identifiable
+// vehicles only).
+func APM(accidents int, miles float64) (float64, error) {
+	if miles <= 0 {
+		return 0, errors.New("reliability: APM requires positive miles")
+	}
+	if accidents < 0 {
+		return 0, errors.New("reliability: negative accident count")
+	}
+	return float64(accidents) / miles, nil
+}
+
+// RelativeToHuman returns how many times worse than a human driver an APM
+// is (the paper's Table VII column 4; human APM = 2e-6 per mile).
+func RelativeToHuman(apm float64) (float64, error) {
+	if apm < 0 {
+		return 0, errors.New("reliability: negative APM")
+	}
+	return apm / calib.HumanAPM, nil
+}
+
+// APMi converts accidents per mile into accidents per mission using the
+// median US trip length (10 miles, §V-C1).
+func APMi(apm float64) (float64, error) {
+	if apm < 0 {
+		return 0, errors.New("reliability: negative APM")
+	}
+	return apm * calib.MedianTripMiles, nil
+}
+
+// CrossDomain is the Table VIII comparison of one manufacturer against
+// airplanes and surgical robots.
+type CrossDomain struct {
+	// APMi is accidents per 10-mile mission.
+	APMi float64
+	// VsAirline is APMi / (airline accidents per departure).
+	VsAirline float64
+	// VsSurgicalRobot is APMi / (surgical-robot accidents per procedure).
+	VsSurgicalRobot float64
+}
+
+// CompareCrossDomain builds the Table VIII row for an accidents-per-mile
+// figure.
+func CompareCrossDomain(apm float64) (CrossDomain, error) {
+	ai, err := APMi(apm)
+	if err != nil {
+		return CrossDomain{}, err
+	}
+	return CrossDomain{
+		APMi:            ai,
+		VsAirline:       ai / calib.AirlineAPM,
+		VsSurgicalRobot: ai / calib.SurgicalRobotAPM,
+	}, nil
+}
+
+// AnnualAccidentLoad scales a per-mission accident rate to annual accidents
+// under the paper's fleet-replacement thought experiment (96 billion car
+// trips vs 9.6 million airline departures per year, §V-C1).
+func AnnualAccidentLoad(apmi float64, trips float64) float64 {
+	return apmi * trips
+}
+
+// --- Kalra–Paddock mileage significance model [36] ---
+
+// MilesToDemonstrate returns the number of failure-free miles needed to
+// demonstrate, with the given confidence, that the true failure rate is
+// below maxRate. This is the Kalra–Paddock zero-failure bound
+// m = -ln(1-C)/R.
+func MilesToDemonstrate(maxRate, confidence float64) (float64, error) {
+	if maxRate <= 0 {
+		return 0, errors.New("reliability: maxRate must be positive")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, errors.New("reliability: confidence must be in (0,1)")
+	}
+	return -math.Log(1-confidence) / maxRate, nil
+}
+
+// MilesToDemonstrateWithFailures generalizes the zero-failure bound: the
+// miles that must be driven, while observing at most `failures` failures,
+// to demonstrate with the given confidence that the true rate is below
+// maxRate. This is the chi-square form of the Kalra–Paddock model:
+// m = chi2quantile(C, 2n+2) / (2R). With failures == 0 it reduces to
+// -ln(1-C)/R.
+func MilesToDemonstrateWithFailures(failures int, maxRate, confidence float64) (float64, error) {
+	if failures < 0 {
+		return 0, errors.New("reliability: negative failure count")
+	}
+	if maxRate <= 0 {
+		return 0, errors.New("reliability: maxRate must be positive")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, errors.New("reliability: confidence must be in (0,1)")
+	}
+	q, err := chiSquareQuantile(confidence, 2*float64(failures)+2)
+	if err != nil {
+		return 0, err
+	}
+	return q / (2 * maxRate), nil
+}
+
+// PoissonTailGE returns P(X >= k) for X ~ Poisson(lambda), via the
+// regularized lower incomplete gamma identity P(X >= k) = P(k, lambda).
+func PoissonTailGE(k int, lambda float64) (float64, error) {
+	if k < 0 {
+		return 0, errors.New("reliability: k must be non-negative")
+	}
+	if lambda < 0 {
+		return 0, errors.New("reliability: lambda must be non-negative")
+	}
+	if k == 0 {
+		return 1, nil
+	}
+	if lambda == 0 {
+		return 0, nil
+	}
+	return stats.RegIncGammaLower(float64(k), lambda)
+}
+
+// RateCI is a two-sided confidence interval for a Poisson event rate.
+type RateCI struct {
+	// Low and High bound the per-mile rate.
+	Low, High float64
+	// Level is the confidence level.
+	Level float64
+}
+
+// PoissonRateCI returns the exact (Garwood/chi-square) two-sided confidence
+// interval for an event rate given `events` observed over `miles`.
+func PoissonRateCI(events int, miles float64, level float64) (RateCI, error) {
+	if events < 0 {
+		return RateCI{}, errors.New("reliability: negative event count")
+	}
+	if miles <= 0 {
+		return RateCI{}, errors.New("reliability: miles must be positive")
+	}
+	if level <= 0 || level >= 1 {
+		return RateCI{}, errors.New("reliability: level must be in (0,1)")
+	}
+	alpha := 1 - level
+	var low float64
+	if events > 0 {
+		q, err := chiSquareQuantile(alpha/2, 2*float64(events))
+		if err != nil {
+			return RateCI{}, err
+		}
+		low = q / (2 * miles)
+	}
+	q, err := chiSquareQuantile(1-alpha/2, 2*float64(events)+2)
+	if err != nil {
+		return RateCI{}, err
+	}
+	return RateCI{Low: low, High: q / (2 * miles), Level: level}, nil
+}
+
+// chiSquareQuantile inverts the chi-square CDF by bisection.
+func chiSquareQuantile(p, k float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, errors.New("reliability: quantile probability outside (0,1)")
+	}
+	lo, hi := 0.0, k+10
+	for {
+		c, err := stats.ChiSquareCDF(hi, k)
+		if err != nil {
+			return 0, err
+		}
+		if c >= p {
+			break
+		}
+		hi *= 2
+		if hi > 1e9 {
+			return 0, errors.New("reliability: chi-square quantile out of range")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		c, err := stats.ChiSquareCDF(mid, k)
+		if err != nil {
+			return 0, err
+		}
+		if c < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-10*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// EstimateConfidence returns the Kalra–Paddock-style confidence that the
+// true event rate is below ratio times the observed MLE, given the observed
+// event count: C = ChiSquareCDF(2*events*ratio, 2*events + 2). Miles cancel
+// out — confidence in a rate estimate depends only on how many events were
+// seen. The paper reports that only Waymo (25 accidents) and GM Cruise (14)
+// clear 90% under this criterion with ratio 2; one-accident manufacturers
+// (Delphi, Nissan) do not.
+func EstimateConfidence(events int, ratio float64) (float64, error) {
+	if events <= 0 {
+		return 0, errors.New("reliability: confidence requires at least one event")
+	}
+	if ratio <= 1 {
+		return 0, errors.New("reliability: ratio must exceed 1")
+	}
+	return stats.ChiSquareCDF(2*float64(events)*ratio, 2*float64(events)+2)
+}
+
+// SignificantEstimate reports whether an event-rate estimate clears the
+// given confidence level under EstimateConfidence with the default
+// demonstration ratio of 2.
+func SignificantEstimate(events int, level float64) (bool, error) {
+	if level <= 0 || level >= 1 {
+		return false, errors.New("reliability: level must be in (0,1)")
+	}
+	if events <= 0 {
+		return false, nil
+	}
+	c, err := EstimateConfidence(events, 2)
+	if err != nil {
+		return false, err
+	}
+	return c >= level, nil
+}
+
+// WorseThanBaseline tests, one-sided, whether an observed accident count
+// over the given miles is significantly higher than a baseline per-mile
+// rate. It returns the p-value P(X >= events | rate = baseline) and whether
+// the result is significant at the requested level (the paper reports
+// Waymo and GM Cruise at > 90% significance).
+func WorseThanBaseline(events int, miles, baselineRate, level float64) (pValue float64, significant bool, err error) {
+	if baselineRate < 0 || miles <= 0 {
+		return 0, false, errors.New("reliability: invalid baseline or miles")
+	}
+	if level <= 0 || level >= 1 {
+		return 0, false, errors.New("reliability: level must be in (0,1)")
+	}
+	p, err := PoissonTailGE(events, baselineRate*miles)
+	if err != nil {
+		return 0, false, err
+	}
+	return p, p < 1-level, nil
+}

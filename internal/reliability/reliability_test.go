@@ -1,0 +1,348 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"avfda/internal/calib"
+	"avfda/internal/schema"
+)
+
+func almostEqual(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestBasicMetrics(t *testing.T) {
+	dpm, err := DPM(341, 424332)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, dpm, 341.0/424332, 1e-12, "DPM")
+	dpa, err := DPA(464, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, dpa, 18.56, 0.01, "Waymo DPA (Table VI: 18)")
+	apm, err := APMFromDPM(0.000745, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, apm, 4.14e-5, 1e-7, "Waymo APM (Table VII)")
+}
+
+func TestMetricErrors(t *testing.T) {
+	if _, err := DPM(1, 0); err == nil {
+		t.Error("zero miles: want error")
+	}
+	if _, err := DPM(-1, 10); err == nil {
+		t.Error("negative events: want error")
+	}
+	if _, err := DPA(10, 0); err == nil {
+		t.Error("zero accidents: want error")
+	}
+	if _, err := APMFromDPM(0.1, 0); err == nil {
+		t.Error("zero DPA: want error")
+	}
+	if _, err := APM(1, -5); err == nil {
+		t.Error("negative miles: want error")
+	}
+	if _, err := RelativeToHuman(-1); err == nil {
+		t.Error("negative APM: want error")
+	}
+	if _, err := APMi(-1); err == nil {
+		t.Error("negative APM: want error")
+	}
+}
+
+func TestTableVIIRatios(t *testing.T) {
+	// Reproduce Table VII's relative-to-human column from its APM column.
+	for m, row := range calib.TableVII {
+		if row.MedianAPM == calib.Unreported {
+			continue
+		}
+		rel, err := RelativeToHuman(row.MedianAPM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == schema.Nissan {
+			// Known paper inconsistency: Table VII prints 15.285 for
+			// Nissan, but its own APM column implies 152.85 (see calib).
+			almostEqual(t, rel, 152.85, 0.5, "Nissan computed rel-to-human")
+			almostEqual(t, rel, row.RelToHuman*10, 0.5, "Nissan 10x slip")
+			continue
+		}
+		if math.Abs(rel-row.RelToHuman)/row.RelToHuman > 0.01 {
+			t.Errorf("%s: rel-to-human %.2f, paper %.2f", m, rel, row.RelToHuman)
+		}
+		// The paper's headline band: 15x to ~4400x worse than humans.
+		if rel < 15 || rel > 4500 {
+			t.Errorf("%s: rel %.1f outside the paper's 15-4421 band", m, rel)
+		}
+	}
+}
+
+func TestTableVIIICrossDomain(t *testing.T) {
+	for m, want := range calib.TableVIII {
+		apm := calib.TableVII[m].MedianAPM
+		got, err := CompareCrossDomain(apm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.APMi-want.APMi)/want.APMi > 0.01 {
+			t.Errorf("%s APMi = %g, paper %g", m, got.APMi, want.APMi)
+		}
+		if math.Abs(got.VsAirline-want.VsAirline)/want.VsAirline > 0.01 {
+			t.Errorf("%s vs airline = %.2f, paper %.2f", m, got.VsAirline, want.VsAirline)
+		}
+		if math.Abs(got.VsSurgicalRobot-want.VsSurgicalBot)/want.VsSurgicalBot > 0.02 {
+			t.Errorf("%s vs SR = %.4f, paper %.4f", m, got.VsSurgicalRobot, want.VsSurgicalBot)
+		}
+	}
+	// Waymo headline: 4.22x worse than airplanes, 2.5x better than
+	// surgical robots (1/0.0398 ~ 25... the paper says 2.5x better
+	// meaning APMi ratio 0.0398 ~ 1/25; "2.5x" refers to the rounded
+	// order in the abstract). Check the 4.22 figure directly.
+	waymo, _ := CompareCrossDomain(calib.TableVII[schema.Waymo].MedianAPM)
+	almostEqual(t, waymo.VsAirline, 4.22, 0.05, "Waymo vs airline")
+	if waymo.VsSurgicalRobot >= 1 {
+		t.Error("Waymo should be better than surgical robots per mission")
+	}
+}
+
+func TestAnnualAccidentLoad(t *testing.T) {
+	// If all cars were AVs at Waymo's APMi, annual accidents would dwarf
+	// aviation's (10,000x more trips).
+	waymo, _ := CompareCrossDomain(calib.TableVII[schema.Waymo].MedianAPM)
+	avLoad := AnnualAccidentLoad(waymo.APMi, calib.AnnualAVTrips)
+	airLoad := AnnualAccidentLoad(calib.AirlineAPM, calib.AnnualAirlineTrips)
+	if avLoad <= airLoad {
+		t.Errorf("AV annual load %.0f should exceed airline %.0f", avLoad, airLoad)
+	}
+	if ratio := calib.AnnualAVTrips / calib.AnnualAirlineTrips; math.Abs(ratio-10000) > 1 {
+		t.Errorf("trip ratio = %g, want 10000", ratio)
+	}
+}
+
+func TestMilesToDemonstrate(t *testing.T) {
+	// Kalra-Paddock headline: demonstrating better-than-human fatality
+	// rates takes hundreds of millions of miles. With the paper's human
+	// accident rate (2e-6/mile) at 95%: ~1.5M miles.
+	m, err := MilesToDemonstrate(calib.HumanAPM, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, m, -math.Log(0.05)/2e-6, 1, "KP zero-failure miles")
+	if m < 1e6 {
+		t.Errorf("miles to demonstrate = %g, expected > 1e6", m)
+	}
+	if _, err := MilesToDemonstrate(0, 0.9); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := MilesToDemonstrate(1e-6, 1.5); err == nil {
+		t.Error("bad confidence: want error")
+	}
+}
+
+func TestMilesToDemonstrateWithFailures(t *testing.T) {
+	// With zero failures the chi-square form reduces to -ln(1-C)/R.
+	m0, err := MilesToDemonstrateWithFailures(0, calib.HumanAPM, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := MilesToDemonstrate(calib.HumanAPM, 0.95)
+	almostEqual(t, m0, want, want*1e-6, "zero-failure reduction")
+	// More observed failures require more miles, monotonically.
+	prev := m0
+	for n := 1; n <= 10; n++ {
+		m, err := MilesToDemonstrateWithFailures(n, calib.HumanAPM, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m <= prev {
+			t.Fatalf("miles not increasing at %d failures", n)
+		}
+		prev = m
+	}
+	// Kalra-Paddock headline scale: demonstrating the human fatality rate
+	// (1.09 per 100M miles) with zero failures at 95% needs ~275M miles.
+	fat, err := MilesToDemonstrateWithFailures(0, 1.09e-8, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fat < 2.5e8 || fat > 3.0e8 {
+		t.Errorf("fatality-rate demonstration miles = %.3g, want ~2.75e8", fat)
+	}
+	if _, err := MilesToDemonstrateWithFailures(-1, 1e-6, 0.9); err == nil {
+		t.Error("negative failures: want error")
+	}
+	if _, err := MilesToDemonstrateWithFailures(0, 0, 0.9); err == nil {
+		t.Error("zero rate: want error")
+	}
+	if _, err := MilesToDemonstrateWithFailures(0, 1e-6, 1); err == nil {
+		t.Error("bad confidence: want error")
+	}
+}
+
+func TestPoissonTailGE(t *testing.T) {
+	// P(X >= 1) = 1 - e^-lambda.
+	p, err := PoissonTailGE(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, p, 1-math.Exp(-2), 1e-10, "P(X>=1)")
+	// P(X >= 0) = 1.
+	if p, _ := PoissonTailGE(0, 3); p != 1 {
+		t.Errorf("P(X>=0) = %g", p)
+	}
+	// lambda = 0.
+	if p, _ := PoissonTailGE(3, 0); p != 0 {
+		t.Errorf("P(X>=3|0) = %g", p)
+	}
+	// P(X >= 2) = 1 - e^-l - l e^-l.
+	p, _ = PoissonTailGE(2, 1.5)
+	almostEqual(t, p, 1-math.Exp(-1.5)*(1+1.5), 1e-10, "P(X>=2)")
+	if _, err := PoissonTailGE(-1, 1); err == nil {
+		t.Error("negative k: want error")
+	}
+}
+
+func TestPoissonRateCI(t *testing.T) {
+	// Garwood interval for 25 events over 1,060,200 miles (Waymo).
+	ci, err := PoissonRateCI(25, 1060200, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mle := 25.0 / 1060200
+	if ci.Low >= mle || ci.High <= mle {
+		t.Errorf("CI [%g, %g] does not bracket MLE %g", ci.Low, ci.High, mle)
+	}
+	// Known chi-square bounds: lower = chi2(0.025, 50)/2 = 32.357/2,
+	// upper = chi2(0.975, 52)/2 = 73.810/2 events.
+	almostEqual(t, ci.Low*1060200, 32.357/2, 0.05, "CI lower events")
+	almostEqual(t, ci.High*1060200, 73.810/2, 0.05, "CI upper events")
+	// Zero events: lower bound 0, positive upper bound.
+	ci0, err := PoissonRateCI(0, 1000, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci0.Low != 0 || ci0.High <= 0 {
+		t.Errorf("zero-event CI = %+v", ci0)
+	}
+	if _, err := PoissonRateCI(1, 0, 0.9); err == nil {
+		t.Error("zero miles: want error")
+	}
+	if _, err := PoissonRateCI(-1, 10, 0.9); err == nil {
+		t.Error("negative events: want error")
+	}
+	if _, err := PoissonRateCI(1, 10, 1.1); err == nil {
+		t.Error("bad level: want error")
+	}
+}
+
+func TestWorseThanBaselineMatchesPaperSignificance(t *testing.T) {
+	// Waymo: 25 accidents in 1,060,200 miles vs human 2e-6/mile.
+	// Expected count under human rate ~2.1; observing 25 is wildly
+	// significant (paper: >90%).
+	p, sig, err := WorseThanBaseline(25, 1060200, calib.HumanAPM, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig {
+		t.Errorf("Waymo not significant at 90%% (p=%g)", p)
+	}
+	// GM Cruise: 14 accidents in ~10,015 miles.
+	p, sig, err = WorseThanBaseline(14, 10015.2, calib.HumanAPM, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig {
+		t.Errorf("GM Cruise not significant at 90%% (p=%g)", p)
+	}
+	if _, _, err := WorseThanBaseline(1, -1, 1e-6, 0.9); err == nil {
+		t.Error("bad miles: want error")
+	}
+	if _, _, err := WorseThanBaseline(1, 10, 1e-6, 0); err == nil {
+		t.Error("bad level: want error")
+	}
+}
+
+func TestEstimateConfidenceMatchesPaper(t *testing.T) {
+	// The paper: "calculations for two out of the 4 manufacturers (Waymo
+	// and GMCruise) were made at > 90% significance". Under the
+	// Kalra-Paddock criterion (confidence the true rate is below 2x the
+	// estimate), the two many-accident manufacturers clear 90% and the two
+	// single-accident manufacturers do not.
+	cases := []struct {
+		name    string
+		events  int
+		wantSig bool
+	}{
+		{"Waymo", 25, true},
+		{"GMCruise", 14, true},
+		{"Delphi", 1, false},
+		{"Nissan", 1, false},
+	}
+	for _, c := range cases {
+		sig, err := SignificantEstimate(c.events, 0.90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig != c.wantSig {
+			conf, _ := EstimateConfidence(c.events, 2)
+			t.Errorf("%s (%d accidents): significant=%v, want %v (confidence %.3f)",
+				c.name, c.events, sig, c.wantSig, conf)
+		}
+	}
+	// Confidence grows monotonically with event count.
+	prev := 0.0
+	for n := 1; n <= 30; n++ {
+		c, err := EstimateConfidence(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= prev {
+			t.Fatalf("confidence not increasing at n=%d", n)
+		}
+		prev = c
+	}
+	if _, err := EstimateConfidence(0, 2); err == nil {
+		t.Error("zero events: want error")
+	}
+	if _, err := EstimateConfidence(5, 1); err == nil {
+		t.Error("ratio <= 1: want error")
+	}
+	if sig, err := SignificantEstimate(0, 0.9); err != nil || sig {
+		t.Error("zero events should be non-significant, no error")
+	}
+	if _, err := SignificantEstimate(5, 1.2); err == nil {
+		t.Error("bad level: want error")
+	}
+}
+
+func TestChiSquareQuantileRoundTrip(t *testing.T) {
+	for _, k := range []float64{1, 2, 10, 50} {
+		for _, p := range []float64{0.025, 0.5, 0.975} {
+			q, err := chiSquareQuantile(p, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// CDF(quantile(p)) == p.
+			c, err := chiSquareCDFForTest(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			almostEqual(t, c, p, 1e-6, "chi-square quantile round trip")
+		}
+	}
+	if _, err := chiSquareQuantile(0, 5); err == nil {
+		t.Error("p=0: want error")
+	}
+}
+
+// chiSquareCDFForTest re-exports the stats CDF for round-trip checking.
+func chiSquareCDFForTest(x, k float64) (float64, error) {
+	return statsChiSquareCDF(x, k)
+}

@@ -1,0 +1,413 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"avfda/internal/stats"
+)
+
+// BoxRow is one labeled box plot in a horizontal ASCII box chart.
+type BoxRow struct {
+	Label string
+	Box   stats.FiveNum
+}
+
+// BoxChart renders horizontal box-and-whisker rows on a shared axis.
+// LogScale plots log10(x); non-positive values are clamped to the axis
+// minimum.
+type BoxChart struct {
+	Title    string
+	Rows     []BoxRow
+	Width    int // plot columns (default 60)
+	LogScale bool
+	Unit     string
+}
+
+// Render draws the chart.
+func (c *BoxChart) Render() string {
+	if len(c.Rows) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 60
+	}
+	tr := func(v float64) float64 {
+		if !c.LogScale {
+			return v
+		}
+		if v <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log10(v)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range c.Rows {
+		for _, v := range []float64{tr(r.Box.Min), tr(r.Box.Max)} {
+			if math.IsInf(v, -1) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) || lo == hi {
+		lo, hi = lo-1, lo+1
+	}
+	span := hi - lo
+	col := func(v float64) int {
+		x := tr(v)
+		if math.IsInf(x, -1) {
+			return 0
+		}
+		p := int(math.Round((x - lo) / span * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	labelW := 0
+	for _, r := range c.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	for _, r := range c.Rows {
+		line := make([]rune, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		wLo, q1, med, q3, wHi := col(r.Box.LowWhisker), col(r.Box.Q1), col(r.Box.Median), col(r.Box.Q3), col(r.Box.HighWhisker)
+		for i := wLo; i <= wHi && i < width; i++ {
+			line[i] = '-'
+		}
+		for i := q1; i <= q3 && i < width; i++ {
+			line[i] = '='
+		}
+		line[wLo] = '|'
+		line[wHi] = '|'
+		line[med] = 'M'
+		fmt.Fprintf(&sb, "%-*s [%s]\n", labelW, r.Label, string(line))
+	}
+	loLabel, hiLabel := lo, hi
+	scale := ""
+	if c.LogScale {
+		scale = " (log10)"
+	}
+	fmt.Fprintf(&sb, "%-*s  %-10.3g%s%10.3g %s%s\n",
+		labelW, "", loLabel, strings.Repeat(" ", maxInt(width-22, 0)), hiLabel, c.Unit, scale)
+	return sb.String()
+}
+
+// Series is one named point set in a scatter chart.
+type Series struct {
+	Label  string
+	Xs, Ys []float64
+	// Marker is the rune plotted for this series (assigned automatically
+	// when zero).
+	Marker rune
+}
+
+// ScatterChart renders multiple series on one grid, optionally in log-log
+// space, with per-series markers and a legend.
+type ScatterChart struct {
+	Title          string
+	XLabel, YLabel string
+	Series         []Series
+	Width, Height  int
+	LogX, LogY     bool
+}
+
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'}
+
+// Render draws the chart.
+func (c *ScatterChart) Render() string {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 70
+	}
+	if height <= 0 {
+		height = 20
+	}
+	trX := axisTransform(c.LogX)
+	trY := axisTransform(c.LogY)
+	loX, hiX := math.Inf(1), math.Inf(-1)
+	loY, hiY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.Xs {
+			x, y := trX(s.Xs[i]), trY(s.Ys[i])
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			loX, hiX = math.Min(loX, x), math.Max(hiX, x)
+			loY, hiY = math.Min(loY, y), math.Max(hiY, y)
+		}
+	}
+	if !finite(loX) || !finite(loY) {
+		return c.Title + "\n(no data)\n"
+	}
+	if loX == hiX {
+		loX, hiX = loX-1, hiX+1
+	}
+	if loY == hiY {
+		loY, hiY = loY-1, hiY+1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	plot := func(x, y float64, marker rune) {
+		tx, ty := trX(x), trY(y)
+		if !finite(tx) || !finite(ty) {
+			return
+		}
+		cx := int(math.Round((tx - loX) / (hiX - loX) * float64(width-1)))
+		cy := int(math.Round((ty - loY) / (hiY - loY) * float64(height-1)))
+		row := height - 1 - cy
+		if cx >= 0 && cx < width && row >= 0 && row < height {
+			grid[row][cx] = marker
+		}
+	}
+	var legend []string
+	for i, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[i%len(defaultMarkers)]
+		}
+		for j := range s.Xs {
+			plot(s.Xs[j], s.Ys[j], marker)
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Label))
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	axisNote := func(log bool) string {
+		if log {
+			return " [log10]"
+		}
+		return ""
+	}
+	fmt.Fprintf(&sb, "y: %s%s\n", c.YLabel, axisNote(c.LogY))
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "x: %s%s, range [%.3g, %.3g]; y range [%.3g, %.3g]\n",
+		c.XLabel, axisNote(c.LogX), unTr(loX, c.LogX), unTr(hiX, c.LogX),
+		unTr(loY, c.LogY), unTr(hiY, c.LogY))
+	if len(legend) > 0 {
+		fmt.Fprintf(&sb, "legend: %s\n", strings.Join(legend, "  "))
+	}
+	return sb.String()
+}
+
+// HistogramChart renders a density histogram with an optional fitted PDF
+// overlay (the Fig. 11/12 style).
+type HistogramChart struct {
+	Title  string
+	Hist   stats.Histogram
+	PDF    func(float64) float64 // optional fitted density
+	Width  int
+	Height int
+}
+
+// Render draws vertical bars ('█'-free, ASCII '#') with the fit as '·'.
+func (c *HistogramChart) Render() string {
+	width, height := c.Width, c.Height
+	if height <= 0 {
+		height = 12
+	}
+	nb := len(c.Hist.Counts)
+	if nb == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	if width <= 0 {
+		width = nb
+		if width < 40 {
+			width = 40
+		}
+	}
+	// Resample bins onto the display width.
+	barAt := make([]float64, width)
+	fitAt := make([]float64, width)
+	lo := c.Hist.Edges[0]
+	hi := c.Hist.Edges[len(c.Hist.Edges)-1]
+	maxD := 0.0
+	for i := 0; i < width; i++ {
+		x := lo + (hi-lo)*(float64(i)+0.5)/float64(width)
+		bin := sort.SearchFloat64s(c.Hist.Edges, x) - 1
+		if bin < 0 {
+			bin = 0
+		}
+		if bin >= nb {
+			bin = nb - 1
+		}
+		barAt[i] = c.Hist.Density[bin]
+		if c.PDF != nil {
+			fitAt[i] = c.PDF(x)
+		}
+		maxD = math.Max(maxD, math.Max(barAt[i], fitAt[i]))
+	}
+	if maxD <= 0 {
+		maxD = 1
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	for r := height; r >= 1; r-- {
+		threshold := maxD * (float64(r) - 0.5) / float64(height)
+		sb.WriteString("|")
+		for i := 0; i < width; i++ {
+			switch {
+			case barAt[i] >= threshold && c.PDF != nil && math.Abs(fitAt[i]-threshold) < maxD/float64(height)/2:
+				sb.WriteByte('*') // fit passing through a bar
+			case barAt[i] >= threshold:
+				sb.WriteByte('#')
+			case c.PDF != nil && math.Abs(fitAt[i]-threshold) < maxD/float64(height)/2:
+				sb.WriteByte('.')
+			default:
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "x range [%.3g, %.3g], peak density %.3g\n", lo, hi, maxD)
+	if c.PDF != nil {
+		sb.WriteString("bars '#': data density; dots '.': fitted PDF\n")
+	}
+	return sb.String()
+}
+
+// StackedBar renders per-label fraction stacks (Fig. 6 style): each row is
+// a label with segments keyed by a legend rune.
+type StackedBar struct {
+	Title string
+	// Segments maps label -> ordered (name, fraction) pairs.
+	Rows  []StackedRow
+	Width int
+}
+
+// StackedRow is one bar.
+type StackedRow struct {
+	Label string
+	Parts []StackedPart
+}
+
+// StackedPart is one segment of a bar.
+type StackedPart struct {
+	Name     string
+	Fraction float64
+}
+
+// Render draws the stacked bars with a shared legend.
+func (c *StackedBar) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 60
+	}
+	// Assign legend runes by first appearance.
+	runes := map[string]rune{}
+	var order []string
+	for _, r := range c.Rows {
+		for _, p := range r.Parts {
+			if _, ok := runes[p.Name]; !ok {
+				runes[p.Name] = rune('A' + len(order))
+				order = append(order, p.Name)
+			}
+		}
+	}
+	labelW := 0
+	for _, r := range c.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	for _, r := range c.Rows {
+		var bar strings.Builder
+		used := 0
+		for _, p := range r.Parts {
+			n := int(math.Round(p.Fraction * float64(width)))
+			if used+n > width {
+				n = width - used
+			}
+			for i := 0; i < n; i++ {
+				bar.WriteRune(runes[p.Name])
+			}
+			used += n
+		}
+		for used < width {
+			bar.WriteByte(' ')
+			used++
+		}
+		fmt.Fprintf(&sb, "%-*s [%s]\n", labelW, r.Label, bar.String())
+	}
+	sb.WriteString("legend:")
+	for _, name := range order {
+		fmt.Fprintf(&sb, " %c=%s", runes[name], name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func axisTransform(log bool) func(float64) float64 {
+	if !log {
+		return func(v float64) float64 { return v }
+	}
+	return func(v float64) float64 {
+		if v <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Log10(v)
+	}
+}
+
+func unTr(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+package report
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"avfda/internal/calib"
+	"avfda/internal/core"
+	"avfda/internal/mission"
+	"avfda/internal/ontology"
+	"avfda/internal/schema"
+)
+
+// Extension renderers: analyses beyond the paper's printed artifacts —
+// the §VI "not all miles are equivalent" context conditioning, the §V-C2
+// proposed miles-between-disengagements metric, and the §VIII
+// fault-injection mission model.
+
+// RoadContext renders the road-type risk table.
+func RoadContext(db *core.DB) string {
+	risks, unknown := db.RoadBreakdown()
+	t := Table{
+		Title:   "Context — disengagements by road type (§VI: not all miles are equivalent)",
+		Headers: []string{"Road type", "Events", "Event share", "Mile share", "Relative risk"},
+		Aligns:  []Align{Left, Right, Right, Right, Right},
+	}
+	for _, r := range risks {
+		t.AddRow(r.Road.String(), r.Events,
+			fmt.Sprintf("%.1f%%", 100*r.EventShare),
+			fmt.Sprintf("%.1f%%", 100*r.MileShare),
+			fmt.Sprintf("%.2fx", r.RelativeRisk))
+	}
+	if unknown > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("%d events reported no road type", unknown))
+	}
+	t.Notes = append(t.Notes, "relative risk = event share / mileage share; >1 over-produces disengagements")
+	return t.Render()
+}
+
+// WeatherContext renders the weather breakdown.
+func WeatherContext(db *core.DB) string {
+	wx := db.WeatherBreakdown()
+	t := Table{
+		Title:   "Context — disengagements by reported weather",
+		Headers: []string{"Weather", "Events"},
+		Aligns:  []Align{Left, Right},
+	}
+	for _, w := range []schema.Weather{
+		schema.WeatherSunny, schema.WeatherCloudy, schema.WeatherRaining,
+		schema.WeatherFoggy, schema.WeatherUnknown,
+	} {
+		if n := wx[w]; n > 0 {
+			t.AddRow(w.String(), n)
+		}
+	}
+	return t.Render()
+}
+
+// MilesBetween renders the paper's proposed §V-C2 metric as a box chart.
+func MilesBetween(db *core.DB) string {
+	c := BoxChart{
+		Title:    "Proposed metric — per-vehicle miles between disengagements (§V-C2)",
+		LogScale: true,
+		Unit:     "miles",
+	}
+	var notes strings.Builder
+	for _, d := range db.MilesBetweenDisengagements() {
+		c.Rows = append(c.Rows, BoxRow{Label: string(d.Manufacturer), Box: d.Box})
+		if d.CensoredVehicles > 0 {
+			fmt.Fprintf(&notes, "  %s: %d event-free vehicles (right-censored at their mileage)\n",
+				d.Manufacturer, d.CensoredVehicles)
+		}
+	}
+	out := c.Render()
+	if notes.Len() > 0 {
+		out += "censoring:\n" + notes.String()
+	}
+	return out
+}
+
+// Survival renders the Kaplan–Meier miles-to-first-disengagement analysis:
+// per-manufacturer medians with censoring counts, survival probabilities at
+// reference mileages, and the Waymo-vs-field log-rank verdict.
+func Survival(db *core.DB) (string, error) {
+	curves, err := db.SurvivalCurves()
+	if err != nil {
+		return "", err
+	}
+	t := Table{
+		Title: "Survival — Kaplan-Meier miles to first disengagement per vehicle",
+		Headers: []string{"Manufacturer", "Vehicles", "Censored", "Median miles",
+			"S(100 mi)", "S(1000 mi)"},
+		Aligns: []Align{Left, Right, Right, Right, Right, Right},
+	}
+	for _, c := range curves {
+		t.AddRow(string(c.Manufacturer), c.KM.N, c.KM.Censored,
+			Dash(c.MedianMiles, "%.1f"),
+			fmt.Sprintf("%.3f", c.KM.At(100)),
+			fmt.Sprintf("%.3f", c.KM.At(1000)))
+	}
+	t.Notes = append(t.Notes,
+		"censored = vehicles with mileage but no disengagement (survive past their total miles)",
+		"dash median = curve never reaches 0.5 (more than half the fleet never disengaged)")
+	out := t.Render()
+	chi2, p, err := db.SurvivalLogRank(schema.Waymo, schema.MercedesBenz)
+	if err == nil {
+		out += fmt.Sprintf("log-rank Waymo vs Mercedes-Benz: chi2 = %.1f, p = %.3g\n", chi2, p)
+	}
+	return out, nil
+}
+
+// MissionValidation fits the stochastic fault-injection model, validates it
+// against the field rates, and renders the counterfactual sweeps.
+func MissionValidation(db *core.DB, missions int, seed int64) (string, error) {
+	model, err := mission.Fit(db, calib.MedianTripMiles)
+	if err != nil {
+		return "", err
+	}
+	base, _, err := mission.Campaign(model, missions, rand.New(rand.NewSource(seed)), false)
+	if err != nil {
+		return "", err
+	}
+	var miles float64
+	for _, m := range db.Mileage {
+		miles += m.Miles
+	}
+	fieldDPM := float64(len(db.Events)) / miles
+	fieldAPM := float64(len(db.Accidents)) / miles
+
+	var sb strings.Builder
+	sb.WriteString("Fault-injection mission model (§VIII future work)\n")
+	fmt.Fprintf(&sb, "  fitted: fault rate %.3g/mile, ADS detection %.2f, reaction Weibull(k=%.2f, λ=%.2f)\n",
+		totalRate(model), model.DetectionProb, model.Reaction.K, model.Reaction.Lambda)
+	fmt.Fprintf(&sb, "  %d simulated %g-mile missions:\n", missions, model.TripMiles)
+	fmt.Fprintf(&sb, "    DPM  simulated %.3g   field %.3g\n", base.DPM(), fieldDPM)
+	fmt.Fprintf(&sb, "    APM  simulated %.3g   field %.3g\n", base.APM(), fieldAPM)
+	fmt.Fprintf(&sb, "    DPA  simulated %.0f   field %.0f\n", base.DPA(),
+		float64(len(db.Events))/float64(max(len(db.Accidents), 1)))
+
+	// Where do simulated accidents originate in the control structure?
+	if len(base.ByOutcomeLocus) > 0 {
+		type locusCount struct {
+			locus string
+			n     int
+		}
+		var loci []locusCount
+		for l, n := range base.ByOutcomeLocus {
+			loci = append(loci, locusCount{string(l), n})
+		}
+		sort.Slice(loci, func(i, j int) bool {
+			if loci[i].n != loci[j].n {
+				return loci[i].n > loci[j].n
+			}
+			return loci[i].locus < loci[j].locus
+		})
+		sb.WriteString("  accident loci (STPA components):")
+		for _, lc := range loci {
+			fmt.Fprintf(&sb, " %s=%d", lc.locus, lc.n)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("  counterfactuals (accident-rate multiple of baseline):\n")
+	for _, c := range []mission.Counterfactual{
+		{Name: "drivers 2x slower", Model: model.WithReactionScale(2)},
+		{Name: "action window halved", Model: model.WithWindowScale(0.5)},
+		{Name: "perception faults cut 5x", Model: model.WithTagRateScale(ontology.TagRecognitionSystem, 0.2)},
+	} {
+		st, _, err := mission.Campaign(c.Model, missions, rand.New(rand.NewSource(seed)), false)
+		if err != nil {
+			return "", err
+		}
+		mult := 0.0
+		if base.APM() > 0 {
+			mult = st.APM() / base.APM()
+		}
+		fmt.Fprintf(&sb, "    %-26s APM %.3g (%.1fx)\n", c.Name, st.APM(), mult)
+	}
+	return sb.String(), nil
+}
+
+func totalRate(m mission.Model) float64 {
+	var r float64
+	for _, v := range m.TagRates {
+		r += v
+	}
+	return r
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRoadContext(t *testing.T) {
+	db := testDB(t)
+	out := RoadContext(db)
+	for _, want := range []string{"city street", "Relative risk", "mileage share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("road context missing %q", want)
+		}
+	}
+}
+
+func TestWeatherContext(t *testing.T) {
+	db := testDB(t)
+	out := WeatherContext(db)
+	if !strings.Contains(out, "sunny") {
+		t.Errorf("weather context missing sunny:\n%s", out)
+	}
+}
+
+func TestMilesBetween(t *testing.T) {
+	db := testDB(t)
+	out := MilesBetween(db)
+	if !strings.Contains(out, "miles between disengagements") {
+		t.Error("MBD title missing")
+	}
+	if !strings.Contains(out, "Waymo") {
+		t.Error("MBD missing Waymo row")
+	}
+	if !strings.Contains(out, "censoring:") {
+		t.Error("MBD missing censoring note")
+	}
+}
+
+func TestMissionValidation(t *testing.T) {
+	db := testDB(t)
+	out, err := MissionValidation(db, 30000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Fault-injection mission model", "DPM  simulated", "DPA  simulated",
+		"counterfactuals", "drivers 2x slower",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mission validation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSurvivalSection(t *testing.T) {
+	db := testDB(t)
+	out, err := Survival(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Kaplan-Meier", "Waymo", "log-rank", "Censored"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("survival section missing %q", want)
+		}
+	}
+}
+
+func TestMissionValidationEmptyDB(t *testing.T) {
+	if _, err := MissionValidation(nil, 100, 1); err == nil {
+		t.Error("nil db: want error")
+	}
+}

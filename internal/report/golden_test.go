@@ -1,0 +1,44 @@
+package report
+
+import (
+	"os"
+	"testing"
+)
+
+// TestTableIIIGolden pins the exact rendering of the static ontology table.
+// Regenerate testdata/tableIII.golden deliberately when the ontology or the
+// table renderer changes:
+//
+//	go test ./internal/report -run TestTableIIIGolden -update
+var updateGolden = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestTableIIIGolden(t *testing.T) {
+	got := TableIII()
+	const path = "testdata/tableIII.golden"
+	if updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("Table III rendering changed; set UPDATE_GOLDEN=1 to accept.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestStudyRenderingDeterminism pins that equal seeds render equal tables
+// end to end (the whole pipeline is deterministic).
+func TestStudyRenderingDeterminism(t *testing.T) {
+	a := testDB(t)
+	b := testDB(t)
+	if TableI(a) != TableI(b) {
+		t.Error("TableI nondeterministic for cached DB")
+	}
+	f4a, f4b := Figure4(a), Figure4(b)
+	if f4a != f4b {
+		t.Error("Figure4 nondeterministic")
+	}
+}

@@ -1,0 +1,230 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG rendering: the same chart models as the ASCII renderers, emitted as
+// standalone SVG documents for inclusion in reports. The implementation is
+// intentionally small — axes, points, lines, boxes — with no external
+// dependencies.
+
+// svgPalette cycles through distinguishable stroke colors.
+var svgPalette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const (
+	svgW, svgH = 640, 420
+	svgMargin  = 56.0
+	svgPlotW   = float64(svgW) - 2*svgMargin
+	svgPlotH   = float64(svgH) - 2*svgMargin
+)
+
+// svgDoc accumulates SVG elements.
+type svgDoc struct {
+	sb strings.Builder
+}
+
+func newSVGDoc(title string) *svgDoc {
+	d := &svgDoc{}
+	fmt.Fprintf(&d.sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", svgW, svgH, svgW, svgH)
+	d.sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&d.sb, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n", svgW/2-len(title)*3, escapeXML(title))
+	return d
+}
+
+func (d *svgDoc) finish() string {
+	d.sb.WriteString("</svg>\n")
+	return d.sb.String()
+}
+
+// axes draws the plot frame and min/max tick labels.
+func (d *svgDoc) axes(xLabel, yLabel string, loX, hiX, loY, hiY float64, logX, logY bool) {
+	fmt.Fprintf(&d.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#444"/>`+"\n",
+		svgMargin, svgMargin, svgPlotW, svgPlotH)
+	lab := func(v float64, log bool) string {
+		return fmt.Sprintf("%.3g", unTr(v, log))
+	}
+	fmt.Fprintf(&d.sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+		svgMargin, svgMargin+svgPlotH+16, lab(loX, logX))
+	fmt.Fprintf(&d.sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+		svgMargin+svgPlotW, svgMargin+svgPlotH+16, lab(hiX, logX))
+	fmt.Fprintf(&d.sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+		svgMargin-6, svgMargin+svgPlotH, lab(loY, logY))
+	fmt.Fprintf(&d.sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+		svgMargin-6, svgMargin+10, lab(hiY, logY))
+	fmt.Fprintf(&d.sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		svgMargin+svgPlotW/2, float64(svgH)-10, escapeXML(xLabel+axisSuffix(logX)))
+	fmt.Fprintf(&d.sb, `<text x="14" y="%.1f" font-family="sans-serif" font-size="12" transform="rotate(-90 14 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		svgMargin+svgPlotH/2, svgMargin+svgPlotH/2, escapeXML(yLabel+axisSuffix(logY)))
+}
+
+func axisSuffix(log bool) string {
+	if log {
+		return " (log)"
+	}
+	return ""
+}
+
+// SVGScatter renders a ScatterChart as SVG, with one optional fitted line
+// per series (slope/intercept in the transformed space).
+func SVGScatter(c *ScatterChart, fits map[string][2]float64) string {
+	trX := axisTransform(c.LogX)
+	trY := axisTransform(c.LogY)
+	loX, hiX := math.Inf(1), math.Inf(-1)
+	loY, hiY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.Xs {
+			x, y := trX(s.Xs[i]), trY(s.Ys[i])
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			loX, hiX = math.Min(loX, x), math.Max(hiX, x)
+			loY, hiY = math.Min(loY, y), math.Max(hiY, y)
+		}
+	}
+	d := newSVGDoc(c.Title)
+	if !finite(loX) || !finite(loY) {
+		return d.finish()
+	}
+	if loX == hiX {
+		loX, hiX = loX-1, hiX+1
+	}
+	if loY == hiY {
+		loY, hiY = loY-1, hiY+1
+	}
+	px := func(x float64) float64 { return svgMargin + (x-loX)/(hiX-loX)*svgPlotW }
+	py := func(y float64) float64 { return svgMargin + svgPlotH - (y-loY)/(hiY-loY)*svgPlotH }
+	d.axes(c.XLabel, c.YLabel, loX, hiX, loY, hiY, c.LogX, c.LogY)
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		for i := range s.Xs {
+			x, y := trX(s.Xs[i]), trY(s.Ys[i])
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			fmt.Fprintf(&d.sb, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s" fill-opacity="0.75"/>`+"\n", px(x), py(y), color)
+		}
+		if fit, ok := fits[s.Label]; ok {
+			y1 := fit[1] + fit[0]*loX
+			y2 := fit[1] + fit[0]*hiX
+			fmt.Fprintf(&d.sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.4" stroke-dasharray="5,3"/>`+"\n",
+				px(loX), py(clampF(y1, loY, hiY)), px(hiX), py(clampF(y2, loY, hiY)), color)
+		}
+		fmt.Fprintf(&d.sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" fill="%s">%s</text>`+"\n",
+			svgMargin+svgPlotW+4-130, svgMargin+14*float64(si+1), color, escapeXML(s.Label))
+	}
+	return d.finish()
+}
+
+// SVGBoxChart renders a BoxChart as SVG.
+func SVGBoxChart(c *BoxChart) string {
+	d := newSVGDoc(c.Title)
+	if len(c.Rows) == 0 {
+		return d.finish()
+	}
+	tr := axisTransform(c.LogScale)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range c.Rows {
+		for _, v := range []float64{tr(r.Box.LowWhisker), tr(r.Box.HighWhisker)} {
+			if !finite(v) {
+				continue
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if !finite(lo) || lo == hi {
+		lo, hi = lo-1, lo+1
+	}
+	px := func(v float64) float64 {
+		t := tr(v)
+		if !finite(t) {
+			t = lo
+		}
+		return svgMargin + (t-lo)/(hi-lo)*svgPlotW
+	}
+	rowH := svgPlotH / float64(len(c.Rows))
+	d.axes(c.Unit, "", lo, hi, 0, float64(len(c.Rows)), c.LogScale, false)
+	for i, r := range c.Rows {
+		cy := svgMargin + rowH*(float64(i)+0.5)
+		color := svgPalette[i%len(svgPalette)]
+		// Whisker line.
+		fmt.Fprintf(&d.sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n",
+			px(r.Box.LowWhisker), cy, px(r.Box.HighWhisker), cy, color)
+		// IQR box.
+		fmt.Fprintf(&d.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.35" stroke="%s"/>`+"\n",
+			px(r.Box.Q1), cy-rowH*0.3, math.Max(px(r.Box.Q3)-px(r.Box.Q1), 1), rowH*0.6, color, color)
+		// Median tick.
+		fmt.Fprintf(&d.sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			px(r.Box.Median), cy-rowH*0.33, px(r.Box.Median), cy+rowH*0.33, color)
+		fmt.Fprintf(&d.sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			svgMargin-6, cy+4, escapeXML(r.Label))
+	}
+	return d.finish()
+}
+
+// SVGHistogram renders a HistogramChart as SVG.
+func SVGHistogram(c *HistogramChart) string {
+	d := newSVGDoc(c.Title)
+	nb := len(c.Hist.Counts)
+	if nb == 0 {
+		return d.finish()
+	}
+	lo := c.Hist.Edges[0]
+	hi := c.Hist.Edges[nb]
+	maxD := 0.0
+	for _, v := range c.Hist.Density {
+		maxD = math.Max(maxD, v)
+	}
+	if c.PDF != nil {
+		for i := 0; i <= 100; i++ {
+			x := lo + (hi-lo)*float64(i)/100
+			maxD = math.Max(maxD, c.PDF(x))
+		}
+	}
+	if maxD <= 0 {
+		maxD = 1
+	}
+	px := func(x float64) float64 { return svgMargin + (x-lo)/(hi-lo)*svgPlotW }
+	py := func(y float64) float64 { return svgMargin + svgPlotH - y/maxD*svgPlotH }
+	d.axes("value", "density", lo, hi, 0, maxD, false, false)
+	for i := 0; i < nb; i++ {
+		x1 := px(c.Hist.Edges[i])
+		x2 := px(c.Hist.Edges[i+1])
+		y := py(c.Hist.Density[i])
+		fmt.Fprintf(&d.sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#1f77b4" fill-opacity="0.55" stroke="#1f77b4"/>`+"\n",
+			x1, y, math.Max(x2-x1-0.5, 0.5), svgMargin+svgPlotH-y)
+	}
+	if c.PDF != nil {
+		var pts []string
+		for i := 0; i <= 200; i++ {
+			x := lo + (hi-lo)*float64(i)/200
+			y := c.PDF(x)
+			if !finite(y) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(math.Min(y, maxD))))
+		}
+		fmt.Fprintf(&d.sb, `<polyline points="%s" fill="none" stroke="#d62728" stroke-width="1.6"/>`+"\n", strings.Join(pts, " "))
+	}
+	return d.finish()
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,358 @@
+// Package scandoc renders a normalized corpus into the document form the
+// pipeline ingests: per-manufacturer annual disengagement reports (with the
+// schema fragmentation the paper describes — each vendor family uses its
+// own layout) and per-incident accident reports (OL 316 style).
+//
+// Rendered documents are line-oriented page grids; package ocr then decodes
+// them with a configurable noise model, reproducing the paper's Stage I→II
+// digitization path.
+package scandoc
+
+import (
+	"fmt"
+	"strings"
+
+	"avfda/internal/schema"
+)
+
+// DocKind distinguishes the document classes in the DMV releases.
+type DocKind int
+
+// Document kinds.
+const (
+	DisengagementReport DocKind = iota + 1
+	AccidentReport
+)
+
+// String implements fmt.Stringer.
+func (k DocKind) String() string {
+	switch k {
+	case DisengagementReport:
+		return "disengagement-report"
+	case AccidentReport:
+		return "accident-report"
+	default:
+		return fmt.Sprintf("DocKind(%d)", int(k))
+	}
+}
+
+// Format identifies a vendor's report layout family.
+type Format int
+
+// Layout families. The real corpus is fragmented across vendor-specific
+// formats; we model the three families the data exhibits.
+const (
+	// FormatTabular is a pipe-separated table (Mercedes-Benz, Bosch,
+	// Volkswagen, GM Cruise).
+	FormatTabular Format = iota + 1
+	// FormatLogLine is em-dash-separated log lines (Nissan, Delphi,
+	// Tesla, Ford, BMW), as in the paper's Table II.
+	FormatLogLine
+	// FormatMonthly is Waymo's month-granular narrative style.
+	FormatMonthly
+)
+
+// FormatFor returns the layout family a manufacturer files in.
+func FormatFor(m schema.Manufacturer) Format {
+	switch m {
+	case schema.MercedesBenz, schema.Bosch, schema.Volkswagen, schema.GMCruise:
+		return FormatTabular
+	case schema.Waymo:
+		return FormatMonthly
+	default:
+		return FormatLogLine
+	}
+}
+
+// Page is one page of a scanned document: a slice of text lines.
+type Page struct {
+	Lines []string
+	// Handwritten pages OCR worse (accident narratives are handwritten
+	// in the real corpus).
+	Handwritten bool
+}
+
+// Document is one logical report.
+type Document struct {
+	ID           string
+	Kind         DocKind
+	Manufacturer schema.Manufacturer
+	ReportYear   schema.ReportYear
+	Pages        []Page
+}
+
+// Lines flattens all pages into a single line slice.
+func (d *Document) Lines() []string {
+	var out []string
+	for _, p := range d.Pages {
+		out = append(out, p.Lines...)
+	}
+	return out
+}
+
+const linesPerPage = 56
+
+// paginate splits lines into pages.
+func paginate(lines []string, handwritten bool) []Page {
+	var pages []Page
+	for start := 0; start < len(lines); start += linesPerPage {
+		end := start + linesPerPage
+		if end > len(lines) {
+			end = len(lines)
+		}
+		chunk := make([]string, end-start)
+		copy(chunk, lines[start:end])
+		pages = append(pages, Page{Lines: chunk, Handwritten: handwritten})
+	}
+	if len(pages) == 0 {
+		pages = []Page{{Handwritten: handwritten}}
+	}
+	return pages
+}
+
+// Render converts a corpus into the full document set: one disengagement
+// report per manufacturer-year (with its mileage table) and one accident
+// report per collision.
+func Render(c *schema.Corpus) []Document {
+	var docs []Document
+
+	// Group fleet/mileage/events per manufacturer-year, preserving corpus
+	// order.
+	type key struct {
+		m schema.Manufacturer
+		y schema.ReportYear
+	}
+	var order []key
+	seen := make(map[key]bool)
+	note := func(k key) {
+		if !seen[k] {
+			seen[k] = true
+			order = append(order, k)
+		}
+	}
+	fleets := make(map[key]schema.Fleet)
+	for _, f := range c.Fleets {
+		k := key{f.Manufacturer, f.ReportYear}
+		note(k)
+		fleets[k] = f
+	}
+	mileage := make(map[key][]schema.MonthlyMileage)
+	for _, m := range c.Mileage {
+		k := key{m.Manufacturer, m.ReportYear}
+		note(k)
+		mileage[k] = append(mileage[k], m)
+	}
+	events := make(map[key][]schema.Disengagement)
+	for _, d := range c.Disengagements {
+		k := key{d.Manufacturer, d.ReportYear}
+		note(k)
+		events[k] = append(events[k], d)
+	}
+
+	for _, k := range order {
+		if len(mileage[k]) == 0 && len(events[k]) == 0 {
+			// Accident-only vendors file no disengagement report.
+			if f, ok := fleets[k]; !ok || f.Cars <= 0 {
+				continue
+			}
+		}
+		docs = append(docs, renderDisengagementReport(
+			k.m, k.y, fleets[k], mileage[k], events[k]))
+	}
+
+	for i, a := range c.Accidents {
+		docs = append(docs, renderAccidentReport(i, a))
+	}
+	return docs
+}
+
+// renderDisengagementReport builds one manufacturer-year report document.
+func renderDisengagementReport(m schema.Manufacturer, y schema.ReportYear,
+	fleet schema.Fleet, miles []schema.MonthlyMileage, events []schema.Disengagement,
+) Document {
+	var lines []string
+	lines = append(lines,
+		"CALIFORNIA DMV ANNUAL REPORT OF AUTONOMOUS VEHICLE DISENGAGEMENTS",
+		"Manufacturer: "+string(m),
+		"Reporting Period: "+y.String(),
+		"Fleet Size: "+fleetSize(fleet),
+		"",
+		"SECTION 1: AUTONOMOUS MILES BY VEHICLE AND MONTH",
+		"VEHICLE | MONTH | MILES",
+	)
+	for _, mm := range miles {
+		lines = append(lines, fmt.Sprintf("%s | %s | %.2f",
+			mm.Vehicle, mm.Month.Format("2006-01"), mm.Miles))
+	}
+	lines = append(lines, "",
+		fmt.Sprintf("SECTION 2: DISENGAGEMENT EVENTS (%d TOTAL)", len(events)))
+	switch FormatFor(m) {
+	case FormatTabular:
+		lines = append(lines, "DATE TIME | VEHICLE | MODE | ROAD | WEATHER | REACTION | CAUSE")
+		for _, e := range events {
+			lines = append(lines, renderTabularEvent(e))
+		}
+	case FormatMonthly:
+		for _, e := range events {
+			lines = append(lines, renderMonthlyEvent(e))
+		}
+	default:
+		for _, e := range events {
+			lines = append(lines, renderLogLineEvent(e))
+		}
+	}
+	return Document{
+		ID:           fmt.Sprintf("disengagements-%s-%d", sanitize(string(m)), int(y)),
+		Kind:         DisengagementReport,
+		Manufacturer: m,
+		ReportYear:   y,
+		Pages:        paginate(lines, false),
+	}
+}
+
+// fleetSize renders the fleet-size field, preserving the Table I dashes.
+func fleetSize(f schema.Fleet) string {
+	if f.Cars < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", f.Cars)
+}
+
+// renderTabularEvent renders the pipe-table family row.
+func renderTabularEvent(e schema.Disengagement) string {
+	return fmt.Sprintf("%s | %s | %s | %s | %s | %s | %s",
+		e.Time.Format("2006-01-02 15:04:05"),
+		orDash(string(e.Vehicle)),
+		e.Modality,
+		e.Road,
+		e.Weather,
+		reactionField(e),
+		e.Cause)
+}
+
+// renderLogLineEvent renders the em-dash log family row (Table II style).
+func renderLogLineEvent(e schema.Disengagement) string {
+	return fmt.Sprintf("%s — %s — %s — %s — %s — %s — %s — %s",
+		e.Time.Format("1/2/06"),
+		e.Time.Format("3:04:05 PM"),
+		orDash(string(e.Vehicle)),
+		e.Cause,
+		e.Road,
+		e.Weather,
+		reactionField(e),
+		strings.ToLower(e.Modality.String()))
+}
+
+// renderMonthlyEvent renders Waymo's month-granular style.
+func renderMonthlyEvent(e schema.Disengagement) string {
+	return fmt.Sprintf("%s — %s — %s — %s — %s — %s — %s",
+		e.Time.Format("Jan-06"),
+		orDash(string(e.Vehicle)),
+		e.Road,
+		e.Modality.String(),
+		e.Cause,
+		reactionField(e),
+		e.Time.Format("2006-01-02 15:04:05"))
+}
+
+// reactionField renders the driver reaction time, "-" when unreported.
+func reactionField(e schema.Disengagement) string {
+	if !e.HasReaction() {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f s", e.ReactionSeconds)
+}
+
+// orDash substitutes "-" for empty strings.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// renderAccidentReport builds one OL 316-style accident document. The
+// narrative section is flagged handwritten, which the OCR model degrades
+// more aggressively.
+func renderAccidentReport(idx int, a schema.Accident) Document {
+	head := []string{
+		"REPORT OF TRAFFIC COLLISION INVOLVING AN AUTONOMOUS VEHICLE (OL 316)",
+		"Manufacturer: " + string(a.Manufacturer),
+		"Reporting Period: " + a.ReportYear.String(),
+		"Date/Time: " + a.Time.Format("2006-01-02 15:04"),
+		"Vehicle: " + redactable(a),
+		"Location: " + a.Location,
+		"AV Speed (mph): " + speedField(a.AVSpeedMPH),
+		"Other Vehicle Speed (mph): " + speedField(a.OtherSpeedMPH),
+		"Autonomous Mode: " + yesNo(a.InAutonomousMode),
+		"",
+		"NARRATIVE:",
+	}
+	narrative := wrapText(a.Narrative, 90)
+	return Document{
+		ID:           fmt.Sprintf("accident-%03d-%s", idx+1, sanitize(string(a.Manufacturer))),
+		Kind:         AccidentReport,
+		Manufacturer: a.Manufacturer,
+		ReportYear:   a.ReportYear,
+		Pages: append(paginate(head, false),
+			paginate(narrative, true)...),
+	}
+}
+
+// redactable renders the vehicle field, with DMV-style redaction.
+func redactable(a schema.Accident) string {
+	if a.Redacted || a.Vehicle == "" {
+		return "[REDACTED]"
+	}
+	return string(a.Vehicle)
+}
+
+// speedField renders a speed, "-" when unknown.
+func speedField(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// yesNo renders a boolean form field.
+func yesNo(b bool) string {
+	if b {
+		return "YES"
+	}
+	return "NO"
+}
+
+// wrapText greedily wraps s at width columns.
+func wrapText(s string, width int) []string {
+	words := strings.Fields(s)
+	var lines []string
+	var cur strings.Builder
+	for _, w := range words {
+		if cur.Len() > 0 && cur.Len()+1+len(w) > width {
+			lines = append(lines, cur.String())
+			cur.Reset()
+		}
+		if cur.Len() > 0 {
+			cur.WriteByte(' ')
+		}
+		cur.WriteString(w)
+	}
+	if cur.Len() > 0 {
+		lines = append(lines, cur.String())
+	}
+	return lines
+}
+
+// sanitize converts a name into an id-safe token.
+func sanitize(s string) string {
+	s = strings.ToLower(s)
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

@@ -1,0 +1,233 @@
+package scandoc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"avfda/internal/schema"
+)
+
+func miniCorpus() *schema.Corpus {
+	t0 := time.Date(2015, time.March, 14, 10, 22, 31, 0, time.UTC)
+	return &schema.Corpus{
+		Fleets: []schema.Fleet{
+			{Manufacturer: schema.Waymo, ReportYear: schema.Report2016, Cars: 2},
+			{Manufacturer: schema.GMCruise, ReportYear: schema.Report2016, Cars: -1},
+		},
+		Mileage: []schema.MonthlyMileage{
+			{Manufacturer: schema.Waymo, Vehicle: "Waymo-1-car01", ReportYear: schema.Report2016,
+				Month: time.Date(2015, time.March, 1, 0, 0, 0, 0, time.UTC), Miles: 1234.56},
+			{Manufacturer: schema.GMCruise, Vehicle: "GMCruise-1-car01", ReportYear: schema.Report2016,
+				Month: time.Date(2015, time.July, 1, 0, 0, 0, 0, time.UTC), Miles: 88},
+		},
+		Disengagements: []schema.Disengagement{
+			{Manufacturer: schema.Waymo, Vehicle: "Waymo-1-car01", ReportYear: schema.Report2016,
+				Time: t0, Cause: "Disengage for a recklessly behaving road user",
+				Modality: schema.ModalityManual, Road: schema.RoadHighway,
+				Weather: schema.WeatherSunny, ReactionSeconds: 0.832},
+			{Manufacturer: schema.GMCruise, Vehicle: "GMCruise-1-car01", ReportYear: schema.Report2016,
+				Time: t0.AddDate(0, 4, 0), Cause: "Planned test of fault injection",
+				Modality: schema.ModalityPlanned, Road: schema.RoadCityStreet,
+				Weather: schema.WeatherCloudy, ReactionSeconds: -1},
+		},
+		Accidents: []schema.Accident{
+			{Manufacturer: schema.Waymo, Vehicle: "Waymo-1-car01", ReportYear: schema.Report2016,
+				Time: t0.AddDate(0, 1, 2), Location: "El Camino Real & Clark Av, Mountain View, CA",
+				Narrative:  "The AV was rear-ended at low speed while yielding to a pedestrian.",
+				AVSpeedMPH: 4, OtherSpeedMPH: 10, InAutonomousMode: true},
+		},
+	}
+}
+
+func TestRenderProducesAllDocuments(t *testing.T) {
+	docs := Render(miniCorpus())
+	var dis, acc int
+	for _, d := range docs {
+		switch d.Kind {
+		case DisengagementReport:
+			dis++
+		case AccidentReport:
+			acc++
+		}
+	}
+	if dis != 2 {
+		t.Errorf("disengagement reports = %d, want 2", dis)
+	}
+	if acc != 1 {
+		t.Errorf("accident reports = %d, want 1", acc)
+	}
+}
+
+func TestRenderHeaderFields(t *testing.T) {
+	docs := Render(miniCorpus())
+	var waymoDoc *Document
+	for i := range docs {
+		if docs[i].Kind == DisengagementReport && docs[i].Manufacturer == schema.Waymo {
+			waymoDoc = &docs[i]
+		}
+	}
+	if waymoDoc == nil {
+		t.Fatal("no Waymo disengagement report")
+	}
+	text := strings.Join(waymoDoc.Lines(), "\n")
+	for _, want := range []string{
+		"Manufacturer: Waymo",
+		"Reporting Period: 2015-2016",
+		"Fleet Size: 2",
+		"SECTION 1",
+		"SECTION 2",
+		"1234.56",
+		"recklessly behaving road user",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Waymo report missing %q", want)
+		}
+	}
+}
+
+func TestRenderPreservesDashes(t *testing.T) {
+	docs := Render(miniCorpus())
+	for _, d := range docs {
+		if d.Kind == DisengagementReport && d.Manufacturer == schema.GMCruise {
+			text := strings.Join(d.Lines(), "\n")
+			if !strings.Contains(text, "Fleet Size: -") {
+				t.Error("GM Cruise dash fleet size not preserved")
+			}
+			// GM Cruise uses the tabular family.
+			if !strings.Contains(text, "DATE TIME | VEHICLE |") {
+				t.Error("GM Cruise should use the tabular layout")
+			}
+		}
+	}
+}
+
+func TestRenderAccidentDocument(t *testing.T) {
+	docs := Render(miniCorpus())
+	var acc *Document
+	for i := range docs {
+		if docs[i].Kind == AccidentReport {
+			acc = &docs[i]
+		}
+	}
+	if acc == nil {
+		t.Fatal("no accident report")
+	}
+	text := strings.Join(acc.Lines(), "\n")
+	for _, want := range []string{
+		"OL 316", "AV Speed (mph): 4.0", "Other Vehicle Speed (mph): 10.0",
+		"Autonomous Mode: YES", "NARRATIVE:", "rear-ended",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("accident report missing %q", want)
+		}
+	}
+	// Narrative pages are handwritten.
+	last := acc.Pages[len(acc.Pages)-1]
+	if !last.Handwritten {
+		t.Error("narrative page should be handwritten")
+	}
+	if acc.Pages[0].Handwritten {
+		t.Error("form page should not be handwritten")
+	}
+}
+
+func TestFormatFamilies(t *testing.T) {
+	cases := []struct {
+		m schema.Manufacturer
+		f Format
+	}{
+		{schema.MercedesBenz, FormatTabular},
+		{schema.Bosch, FormatTabular},
+		{schema.Volkswagen, FormatTabular},
+		{schema.GMCruise, FormatTabular},
+		{schema.Waymo, FormatMonthly},
+		{schema.Nissan, FormatLogLine},
+		{schema.Delphi, FormatLogLine},
+		{schema.Tesla, FormatLogLine},
+	}
+	for _, c := range cases {
+		if got := FormatFor(c.m); got != c.f {
+			t.Errorf("FormatFor(%s) = %v, want %v", c.m, got, c.f)
+		}
+	}
+}
+
+func TestPagination(t *testing.T) {
+	lines := make([]string, 130)
+	for i := range lines {
+		lines[i] = "line"
+	}
+	pages := paginate(lines, false)
+	if len(pages) != 3 {
+		t.Fatalf("pages = %d, want 3", len(pages))
+	}
+	total := 0
+	for _, p := range pages {
+		if len(p.Lines) > linesPerPage {
+			t.Errorf("page has %d lines", len(p.Lines))
+		}
+		total += len(p.Lines)
+	}
+	if total != 130 {
+		t.Errorf("paginated lines = %d", total)
+	}
+	if got := paginate(nil, true); len(got) != 1 || !got[0].Handwritten {
+		t.Error("empty pagination should yield one empty page")
+	}
+}
+
+func TestWrapText(t *testing.T) {
+	lines := wrapText("alpha beta gamma delta epsilon", 11)
+	for _, l := range lines {
+		if len(l) > 11 {
+			t.Errorf("wrapped line %q exceeds width", l)
+		}
+	}
+	joined := strings.Join(lines, " ")
+	if joined != "alpha beta gamma delta epsilon" {
+		t.Errorf("wrap lost content: %q", joined)
+	}
+	if wrapText("", 10) != nil {
+		t.Error("empty text should wrap to nil")
+	}
+}
+
+// Golden row renderings: the parsers depend on these exact layouts, so a
+// change here must be deliberate and matched in package parse.
+func TestRowRenderingGolden(t *testing.T) {
+	ev := schema.Disengagement{
+		Manufacturer: schema.Nissan, Vehicle: "Nissan-1-car01",
+		ReportYear: schema.Report2016,
+		Time:       time.Date(2016, time.January, 4, 13, 25, 5, 0, time.UTC),
+		Cause:      "Software module froze",
+		Modality:   schema.ModalityManual, Road: schema.RoadHighway,
+		Weather: schema.WeatherSunny, ReactionSeconds: 0.9,
+	}
+	if got, want := renderLogLineEvent(ev),
+		"1/4/16 — 1:25:05 PM — Nissan-1-car01 — Software module froze — highway — sunny — 0.900 s — manual"; got != want {
+		t.Errorf("log row:\n got %q\nwant %q", got, want)
+	}
+	if got, want := renderTabularEvent(ev),
+		"2016-01-04 13:25:05 | Nissan-1-car01 | Manual | highway | sunny | 0.900 s | Software module froze"; got != want {
+		t.Errorf("tabular row:\n got %q\nwant %q", got, want)
+	}
+	if got, want := renderMonthlyEvent(ev),
+		"Jan-16 — Nissan-1-car01 — highway — Manual — Software module froze — 0.900 s — 2016-01-04 13:25:05"; got != want {
+		t.Errorf("monthly row:\n got %q\nwant %q", got, want)
+	}
+	// Missing reaction renders a dash.
+	ev.ReactionSeconds = -1
+	if got := renderTabularEvent(ev); !strings.Contains(got, "| - |") {
+		t.Errorf("dash reaction missing: %q", got)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("Mercedes-Benz"); got != "mercedes-benz" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitize("Uber ATC"); got != "uber-atc" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

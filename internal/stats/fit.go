@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// FitExponential fits an exponential distribution to xs by maximum
+// likelihood (rate = 1/mean). All observations must be non-negative.
+func FitExponential(xs []float64) (Exponential, error) {
+	if len(xs) == 0 {
+		return Exponential{}, ErrEmpty
+	}
+	for _, x := range xs {
+		if x < 0 {
+			return Exponential{}, errors.New("stats: exponential fit requires non-negative data")
+		}
+	}
+	m, _ := Mean(xs)
+	if m <= 0 {
+		return Exponential{}, errors.New("stats: exponential fit requires positive mean")
+	}
+	return Exponential{Lambda: 1 / m}, nil
+}
+
+// FitWeibull fits a two-parameter Weibull distribution to xs by maximum
+// likelihood. The shape equation
+//
+//	g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0
+//
+// is solved by Newton's method with a bisection safeguard; the scale then
+// follows in closed form. All observations must be positive.
+func FitWeibull(xs []float64) (Weibull, error) {
+	if len(xs) < 3 {
+		return Weibull{}, ErrInsufficient
+	}
+	logs := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return Weibull{}, errors.New("stats: Weibull fit requires positive data")
+		}
+		logs[i] = math.Log(x)
+	}
+	lo0, _ := Min(xs)
+	hi0, _ := Max(xs)
+	if lo0 == hi0 {
+		return Weibull{}, errors.New("stats: Weibull fit requires non-constant data")
+	}
+	meanLog, _ := Mean(logs)
+
+	g := func(k float64) float64 {
+		var sumXk, sumXkLog float64
+		for i, x := range xs {
+			xk := math.Pow(x, k)
+			sumXk += xk
+			sumXkLog += xk * logs[i]
+		}
+		return sumXkLog/sumXk - 1/k - meanLog
+	}
+
+	// Bracket the root. g is increasing in k; g(k)->-inf as k->0+ and
+	// g(k)->max(log x)-mean(log x)>0 as k->inf (unless all xs equal).
+	lo, hi := 1e-3, 1.0
+	for g(hi) < 0 {
+		hi *= 2
+		if hi > 1e4 {
+			return Weibull{}, errors.New("stats: Weibull shape did not bracket (degenerate sample)")
+		}
+	}
+	for g(lo) > 0 {
+		lo /= 2
+		if lo < 1e-8 {
+			return Weibull{}, errors.New("stats: Weibull shape did not bracket (degenerate sample)")
+		}
+	}
+
+	// Newton iteration with numeric derivative, falling back to bisection
+	// when a step leaves the bracket.
+	k := (lo + hi) / 2
+	for iter := 0; iter < 200; iter++ {
+		gk := g(k)
+		if math.Abs(gk) < 1e-12 {
+			break
+		}
+		if gk > 0 {
+			hi = k
+		} else {
+			lo = k
+		}
+		h := 1e-6 * (1 + math.Abs(k))
+		deriv := (g(k+h) - gk) / h
+		next := k
+		if deriv != 0 {
+			next = k - gk/deriv
+		}
+		if next <= lo || next >= hi || math.IsNaN(next) {
+			next = (lo + hi) / 2
+		}
+		if math.Abs(next-k) < 1e-12*(1+math.Abs(k)) {
+			k = next
+			break
+		}
+		k = next
+	}
+
+	var sumXk float64
+	for _, x := range xs {
+		sumXk += math.Pow(x, k)
+	}
+	lambda := math.Pow(sumXk/float64(len(xs)), 1/k)
+	if k <= 0 || lambda <= 0 || math.IsNaN(k) || math.IsNaN(lambda) {
+		return Weibull{}, errors.New("stats: Weibull fit diverged")
+	}
+	return Weibull{K: k, Lambda: lambda}, nil
+}
+
+// FitExpWeibull fits a three-parameter exponentiated Weibull distribution to
+// xs by maximizing the log-likelihood with Nelder–Mead, started from the
+// plain Weibull MLE with Alpha = 1.
+func FitExpWeibull(xs []float64) (ExpWeibull, error) {
+	if len(xs) < 5 {
+		return ExpWeibull{}, ErrInsufficient
+	}
+	w, err := FitWeibull(xs)
+	if err != nil {
+		return ExpWeibull{}, err
+	}
+	// Optimize in log space so the simplex stays in the positive orthant.
+	negLL := func(p []float64) float64 {
+		d := ExpWeibull{
+			K:      math.Exp(p[0]),
+			Lambda: math.Exp(p[1]),
+			Alpha:  math.Exp(p[2]),
+		}
+		var ll float64
+		for _, x := range xs {
+			f := d.PDF(x)
+			if f <= 0 || math.IsNaN(f) {
+				return math.Inf(1)
+			}
+			ll += math.Log(f)
+		}
+		return -ll
+	}
+	start := []float64{math.Log(w.K), math.Log(w.Lambda), 0}
+	best, _, err := NelderMead(negLL, start, NMOptions{MaxIter: 2000, Tol: 1e-10, Step: 0.25})
+	if err != nil {
+		return ExpWeibull{}, err
+	}
+	out := ExpWeibull{
+		K:      math.Exp(best[0]),
+		Lambda: math.Exp(best[1]),
+		Alpha:  math.Exp(best[2]),
+	}
+	if math.IsNaN(out.K) || math.IsNaN(out.Lambda) || math.IsNaN(out.Alpha) {
+		return ExpWeibull{}, errors.New("stats: exponentiated Weibull fit diverged")
+	}
+	return out, nil
+}
+
+// KSStatistic returns the Kolmogorov–Smirnov statistic D = sup |F_n - F|
+// between the empirical CDF of xs and dist.
+func KSStatistic(xs []float64, dist Dist) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		f := dist.CDF(x)
+		upper := (float64(i)+1)/n - f
+		lower := f - float64(i)/n
+		if upper > d {
+			d = upper
+		}
+		if lower > d {
+			d = lower
+		}
+	}
+	return d, nil
+}
+
+// KSTwoSample computes the two-sample Kolmogorov–Smirnov statistic
+// D = sup |F_a - F_b| between the empirical CDFs of two samples, plus its
+// asymptotic p-value (using the effective sample size n_a*n_b/(n_a+n_b)).
+// It is the paper-adjacent tool for asking whether two manufacturers'
+// reaction-time distributions differ.
+func KSTwoSample(a, b []float64) (d, p float64, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	sa := make([]float64, len(a))
+	copy(sa, a)
+	sort.Float64s(sa)
+	sb := make([]float64, len(b))
+	copy(sb, b)
+	sort.Float64s(sb)
+	var i, j int
+	na, nb := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		var x float64
+		if sa[i] <= sb[j] {
+			x = sa[i]
+		} else {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := na * nb / (na + nb)
+	return d, KSPValue(d, int(math.Round(ne))), nil
+}
+
+// KSPValue approximates the asymptotic two-sided p-value of a KS statistic d
+// with sample size n, using the Kolmogorov series.
+func KSPValue(d float64, n int) float64 {
+	if d <= 0 {
+		return 1
+	}
+	en := math.Sqrt(float64(n))
+	lambda := (en + 0.12 + 0.11/en) * d
+	var q float64
+	if lambda < 1.18 {
+		// Jacobi-theta complementary form converges fast for small lambda,
+		// where the alternating series above needs thousands of terms.
+		factor := math.Sqrt(2*math.Pi) / lambda
+		var cdf float64
+		for j := 1; j <= 20; j++ {
+			k := float64(2*j - 1)
+			cdf += math.Exp(-k * k * math.Pi * math.Pi / (8 * lambda * lambda))
+		}
+		q = 1 - factor*cdf
+	} else {
+		for j := 1; j <= 100; j++ {
+			term := 2 * math.Pow(-1, float64(j-1)) * math.Exp(-2*lambda*lambda*float64(j*j))
+			q += term
+			if math.Abs(term) < 1e-12 {
+				break
+			}
+		}
+	}
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sample(d Dist, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Rand(rng)
+	}
+	return xs
+}
+
+func TestFitExponentialRecovery(t *testing.T) {
+	truth := Exponential{Lambda: 0.4}
+	xs := sample(truth, 5000, 11)
+	fit, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, fit.Lambda, truth.Lambda, 0.02, "exponential rate recovery")
+}
+
+func TestFitExponentialErrors(t *testing.T) {
+	if _, err := FitExponential(nil); err != ErrEmpty {
+		t.Errorf("empty: err = %v", err)
+	}
+	if _, err := FitExponential([]float64{1, -2}); err == nil {
+		t.Error("negative data: want error")
+	}
+	if _, err := FitExponential([]float64{0, 0}); err == nil {
+		t.Error("zero mean: want error")
+	}
+}
+
+func TestFitWeibullRecovery(t *testing.T) {
+	cases := []Weibull{
+		{K: 0.8, Lambda: 1.5}, // long-tailed, like Benz reaction times
+		{K: 1.6, Lambda: 0.9}, // like Waymo reaction times
+		{K: 3.0, Lambda: 2.0},
+	}
+	for _, truth := range cases {
+		xs := sample(truth, 4000, 7)
+		fit, err := FitWeibull(xs)
+		if err != nil {
+			t.Fatalf("FitWeibull(%+v): %v", truth, err)
+		}
+		almostEqual(t, fit.K, truth.K, 0.08*truth.K+0.02, "Weibull shape recovery")
+		almostEqual(t, fit.Lambda, truth.Lambda, 0.08*truth.Lambda+0.02, "Weibull scale recovery")
+	}
+}
+
+func TestFitWeibullErrors(t *testing.T) {
+	if _, err := FitWeibull([]float64{1, 2}); err != ErrInsufficient {
+		t.Errorf("n=2: err = %v", err)
+	}
+	if _, err := FitWeibull([]float64{1, 2, -3}); err == nil {
+		t.Error("negative data: want error")
+	}
+	if _, err := FitWeibull([]float64{2, 2, 2, 2}); err == nil {
+		t.Error("constant sample: want error (degenerate)")
+	}
+}
+
+func TestFitExpWeibullRecovery(t *testing.T) {
+	truth := ExpWeibull{K: 1.2, Lambda: 1.0, Alpha: 2.0}
+	xs := sample(truth, 6000, 23)
+	fit, err := FitExpWeibull(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 3-parameter likelihood surface is flat along K-Alpha trade-offs;
+	// check the fitted distribution matches the truth functionally rather
+	// than parameter-by-parameter.
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		qTruth := truth.Quantile(p)
+		qFit := fit.Quantile(p)
+		if math.Abs(qFit-qTruth) > 0.12*(1+qTruth) {
+			t.Errorf("quantile %g: fit %g vs truth %g", p, qFit, qTruth)
+		}
+	}
+	// And the KS distance must be small.
+	d, err := KSStatistic(xs, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.03 {
+		t.Errorf("KS distance = %g, want < 0.03", d)
+	}
+}
+
+func TestFitExpWeibullErrors(t *testing.T) {
+	if _, err := FitExpWeibull([]float64{1, 2, 3}); err != ErrInsufficient {
+		t.Errorf("n=3: err = %v", err)
+	}
+}
+
+func TestKSStatisticPerfectFit(t *testing.T) {
+	// KS of a sample against its own empirical quantiles is small.
+	truth := Exponential{Lambda: 1}
+	xs := sample(truth, 3000, 3)
+	d, err := KSStatistic(xs, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.035 {
+		t.Errorf("KS of true model = %g, want small", d)
+	}
+	// Wrong model scores much worse.
+	wrong := Exponential{Lambda: 5}
+	dWrong, _ := KSStatistic(xs, wrong)
+	if dWrong < 3*d {
+		t.Errorf("KS wrong model %g not clearly worse than true %g", dWrong, d)
+	}
+	if _, err := KSStatistic(nil, truth); err != ErrEmpty {
+		t.Errorf("empty: err = %v", err)
+	}
+}
+
+func TestKSTwoSample(t *testing.T) {
+	// Same distribution: small D, non-tiny p.
+	a := sample(Normal{Mu: 0, Sigma: 1}, 800, 1)
+	b := sample(Normal{Mu: 0, Sigma: 1}, 800, 2)
+	d, p, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.08 {
+		t.Errorf("same-dist D = %g", d)
+	}
+	if p < 0.01 {
+		t.Errorf("same-dist p = %g, should not reject", p)
+	}
+	// Shifted distribution: large D, tiny p.
+	c := sample(Normal{Mu: 1, Sigma: 1}, 800, 3)
+	d, p, err = KSTwoSample(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.3 {
+		t.Errorf("shifted D = %g, want large", d)
+	}
+	if p > 1e-6 {
+		t.Errorf("shifted p = %g, want tiny", p)
+	}
+	// Symmetry in argument order.
+	d2, _, _ := KSTwoSample(c, a)
+	almostEqual(t, d2, d, 1e-12, "two-sample KS symmetry")
+	if _, _, err := KSTwoSample(nil, a); err != ErrEmpty {
+		t.Errorf("empty sample err = %v", err)
+	}
+	// Identical samples: D = 0, p = 1.
+	d, p, _ = KSTwoSample(a, a)
+	if d != 0 || p != 1 {
+		t.Errorf("identical samples: D=%g p=%g", d, p)
+	}
+}
+
+func TestKSPValue(t *testing.T) {
+	// Tiny statistic -> p near 1; huge statistic -> p near 0.
+	if p := KSPValue(0.001, 100); p < 0.99 {
+		t.Errorf("tiny D: p = %g, want ~1", p)
+	}
+	if p := KSPValue(0.5, 100); p > 1e-6 {
+		t.Errorf("large D: p = %g, want ~0", p)
+	}
+	if p := KSPValue(0, 10); p != 1 {
+		t.Errorf("D=0: p = %g, want 1", p)
+	}
+	// Monotone decreasing in D.
+	prev := 1.0
+	for d := 0.01; d < 0.6; d += 0.01 {
+		p := KSPValue(d, 50)
+		if p > prev+1e-12 {
+			t.Fatalf("KS p-value not monotone at D=%g", d)
+		}
+		prev = p
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	// Minimize (x-3)^2 + (y+1)^2.
+	f := func(p []float64) float64 {
+		dx := p[0] - 3
+		dy := p[1] + 1
+		return dx*dx + dy*dy
+	}
+	best, val, err := NelderMead(f, []float64{0, 0}, NMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, best[0], 3, 1e-4, "x*")
+	almostEqual(t, best[1], -1, 1e-4, "y*")
+	almostEqual(t, val, 0, 1e-7, "f*")
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(p []float64) float64 {
+		a := 1 - p[0]
+		b := p[1] - p[0]*p[0]
+		return a*a + 100*b*b
+	}
+	best, _, err := NelderMead(f, []float64{-1.2, 1}, NMOptions{MaxIter: 5000, Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, best[0], 1, 5e-3, "Rosenbrock x")
+	almostEqual(t, best[1], 1, 1e-2, "Rosenbrock y")
+}
+
+func TestNelderMeadRejectsInfRegions(t *testing.T) {
+	// Objective infinite for x<0; optimum at x=2.
+	f := func(p []float64) float64 {
+		if p[0] < 0 {
+			return math.Inf(1)
+		}
+		return (p[0] - 2) * (p[0] - 2)
+	}
+	best, _, err := NelderMead(f, []float64{5}, NMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, best[0], 2, 1e-4, "constrained optimum")
+}
+
+func TestNelderMeadEmptyInput(t *testing.T) {
+	if _, _, err := NelderMead(func([]float64) float64 { return 0 }, nil, NMOptions{}); err == nil {
+		t.Error("empty x0: want error")
+	}
+}
+
+// Property: Weibull fit round trip over random parameters.
+func TestWeibullFitRoundTripProperty(t *testing.T) {
+	prop := func(kSeed, lSeed uint8, seed int64) bool {
+		k := 0.6 + float64(kSeed%30)/10 // 0.6 .. 3.5
+		l := 0.3 + float64(lSeed%40)/10 // 0.3 .. 4.2
+		truth := Weibull{K: k, Lambda: l}
+		xs := sample(truth, 2500, seed)
+		fit, err := FitWeibull(xs)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.K-k) < 0.15*k+0.05 && math.Abs(fit.Lambda-l) < 0.15*l+0.05
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(41))}); err != nil {
+		t.Error(err)
+	}
+}

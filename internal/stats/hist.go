@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Histogram is a density-normalized histogram: the area under the bars
+// integrates to 1, matching the PDF overlays in the paper's Figs. 11–12.
+type Histogram struct {
+	// Edges holds len(Counts)+1 bin boundaries, ascending.
+	Edges []float64
+	// Counts holds raw per-bin observation counts.
+	Counts []int
+	// Density holds counts normalized by (n * width): a PDF estimate.
+	Density []float64
+	// N is the total number of observations binned.
+	N int
+}
+
+// NewHistogram bins xs into nbins equal-width bins spanning [min, max].
+// With nbins <= 0 the bin count is chosen by the Freedman–Diaconis rule
+// (falling back to Sturges for degenerate IQR).
+func NewHistogram(xs []float64, nbins int) (Histogram, error) {
+	if len(xs) == 0 {
+		return Histogram{}, ErrEmpty
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	if lo == hi {
+		hi = lo + 1 // single-valued sample: one unit-width bin
+	}
+	if nbins <= 0 {
+		nbins = FreedmanDiaconisBins(xs)
+	}
+	h := Histogram{
+		Edges:   make([]float64, nbins+1),
+		Counts:  make([]int, nbins),
+		Density: make([]float64, nbins),
+		N:       len(xs),
+	}
+	width := (hi - lo) / float64(nbins)
+	for i := range h.Edges {
+		h.Edges[i] = lo + float64(i)*width
+	}
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx >= nbins { // x == hi lands in the last bin
+			idx = nbins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		h.Counts[idx]++
+	}
+	norm := float64(h.N) * width
+	for i, c := range h.Counts {
+		h.Density[i] = float64(c) / norm
+	}
+	return h, nil
+}
+
+// FreedmanDiaconisBins returns the Freedman–Diaconis bin count for xs,
+// clamped to [1, 200]; it falls back to Sturges' rule when the IQR is zero.
+func FreedmanDiaconisBins(xs []float64) int {
+	n := len(xs)
+	if n < 2 {
+		return 1
+	}
+	q1, _ := Quantile(xs, 0.25)
+	q3, _ := Quantile(xs, 0.75)
+	iqr := q3 - q1
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	span := hi - lo
+	var bins int
+	if iqr > 0 && span > 0 {
+		width := 2 * iqr / math.Cbrt(float64(n))
+		bins = int(math.Ceil(span / width))
+	} else {
+		bins = int(math.Ceil(math.Log2(float64(n)))) + 1 // Sturges
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	if bins > 200 {
+		bins = 200
+	}
+	return bins
+}
+
+// KDE is a Gaussian kernel density estimator.
+type KDE struct {
+	xs        []float64
+	bandwidth float64
+}
+
+// NewKDE builds a Gaussian KDE over xs. A non-positive bandwidth selects
+// Silverman's rule of thumb.
+func NewKDE(xs []float64, bandwidth float64) (*KDE, error) {
+	if len(xs) < 2 {
+		return nil, ErrInsufficient
+	}
+	data := make([]float64, len(xs))
+	copy(data, xs)
+	if bandwidth <= 0 {
+		sd, err := StdDev(data)
+		if err != nil {
+			return nil, err
+		}
+		q1, _ := Quantile(data, 0.25)
+		q3, _ := Quantile(data, 0.75)
+		iqr := q3 - q1
+		sigma := sd
+		if iqr > 0 && iqr/1.349 < sigma {
+			sigma = iqr / 1.349
+		}
+		if sigma <= 0 {
+			return nil, errors.New("stats: KDE requires non-constant data")
+		}
+		bandwidth = 0.9 * sigma * math.Pow(float64(len(data)), -0.2)
+	}
+	return &KDE{xs: data, bandwidth: bandwidth}, nil
+}
+
+// Bandwidth returns the kernel bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.bandwidth }
+
+// PDF evaluates the density estimate at x.
+func (k *KDE) PDF(x float64) float64 {
+	const invSqrt2Pi = 0.3989422804014327
+	var sum float64
+	for _, xi := range k.xs {
+		z := (x - xi) / k.bandwidth
+		sum += math.Exp(-z * z / 2)
+	}
+	return sum * invSqrt2Pi / (float64(len(k.xs)) * k.bandwidth)
+}
+
+// Evaluate samples the density on a regular grid of n points over
+// [lo, hi] and returns the grid and densities.
+func (k *KDE) Evaluate(lo, hi float64, n int) (grid, dens []float64) {
+	if n < 2 {
+		n = 2
+	}
+	grid = make([]float64, n)
+	dens = make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		grid[i] = lo + float64(i)*step
+		dens[i] = k.PDF(grid[i])
+	}
+	return grid, dens
+}
+
+// ECDF returns the empirical CDF of xs evaluated at x.
+func ECDF(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var count int
+	for _, xi := range xs {
+		if xi <= x {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+)
+
+// KruskalWallis is the result of the Kruskal–Wallis H test: a rank-based
+// one-way analysis of variance across k independent groups, the
+// nonparametric tool for asking whether the manufacturers' reaction-time
+// (or DPM) distributions share a common location.
+type KruskalWallis struct {
+	// H is the test statistic (tie-corrected).
+	H float64
+	// DF is k-1 degrees of freedom.
+	DF int
+	// P is the chi-square approximation p-value.
+	P float64
+	// N is the total observation count.
+	N int
+}
+
+// KruskalWallisTest computes the H test over the given groups. Each group
+// needs at least one observation and at least two groups are required; the
+// chi-square approximation is standard for group sizes >= 5.
+func KruskalWallisTest(groups [][]float64) (KruskalWallis, error) {
+	if len(groups) < 2 {
+		return KruskalWallis{}, errors.New("stats: Kruskal-Wallis requires >= 2 groups")
+	}
+	var n int
+	for _, g := range groups {
+		if len(g) == 0 {
+			return KruskalWallis{}, errors.New("stats: Kruskal-Wallis requires non-empty groups")
+		}
+		n += len(g)
+	}
+	// Pool, rank with average ties, then sum ranks per group.
+	type obs struct {
+		v     float64
+		group int
+	}
+	pooled := make([]obs, 0, n)
+	for gi, g := range groups {
+		for _, v := range g {
+			pooled = append(pooled, obs{v: v, group: gi})
+		}
+	}
+	sort.Slice(pooled, func(i, j int) bool { return pooled[i].v < pooled[j].v })
+
+	rankSum := make([]float64, len(groups))
+	// Tie correction accumulator: sum of (t^3 - t) over tie runs.
+	var tieTerm float64
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && pooled[j+1].v == pooled[i].v {
+			j++
+		}
+		avgRank := (float64(i+1) + float64(j+1)) / 2
+		runLen := float64(j - i + 1)
+		if runLen > 1 {
+			tieTerm += runLen*runLen*runLen - runLen
+		}
+		for k := i; k <= j; k++ {
+			rankSum[pooled[k].group] += avgRank
+		}
+		i = j + 1
+	}
+
+	fn := float64(n)
+	var h float64
+	for gi, g := range groups {
+		ng := float64(len(g))
+		h += rankSum[gi] * rankSum[gi] / ng
+	}
+	h = 12/(fn*(fn+1))*h - 3*(fn+1)
+
+	// Tie correction.
+	denom := 1 - tieTerm/(fn*fn*fn-fn)
+	if denom <= 0 {
+		return KruskalWallis{}, errors.New("stats: Kruskal-Wallis degenerate (all values tied)")
+	}
+	h /= denom
+
+	df := len(groups) - 1
+	cdf, err := ChiSquareCDF(h, float64(df))
+	if err != nil {
+		return KruskalWallis{}, err
+	}
+	return KruskalWallis{H: h, DF: df, P: 1 - cdf, N: n}, nil
+}

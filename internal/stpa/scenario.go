@@ -1,0 +1,141 @@
+package stpa
+
+import (
+	"fmt"
+	"strings"
+
+	"avfda/internal/ontology"
+)
+
+// ScenarioEvent is one step of an accident scenario timeline.
+type ScenarioEvent struct {
+	// Actor is the component taking the action.
+	Actor ComponentID
+	// Action describes what the actor did.
+	Action string
+	// Inadequate marks the step STPA identifies as inadequate control.
+	Inadequate bool
+	// UCA classifies the inadequacy when Inadequate is set.
+	UCA UCAType
+}
+
+// Scenario is a reconstructed accident, as in the paper's §II case studies.
+type Scenario struct {
+	Name      string
+	Narrative string
+	// ReportedCause is the cause text from the disengagement report.
+	ReportedCause string
+	// Tag is the fault tag the NLP stage assigns the reported cause.
+	Tag ontology.Tag
+	// Timeline is the ordered event sequence.
+	Timeline []ScenarioEvent
+}
+
+// CaseStudyI returns the paper's first case study: the AV yields to a
+// pedestrian but does not stop; the safety driver proactively takes over,
+// can only brake in the boxed-in traffic, and is rear-ended.
+func CaseStudyI() Scenario {
+	return Scenario{
+		Name: "Case Study I: Real-Time Decisions",
+		Narrative: "A Waymo prototype at a street intersection decided to " +
+			"yield to a crossing pedestrian but did not stop. The test " +
+			"driver took control as a precaution; with a yielding car " +
+			"ahead and a lane-changing car behind, braking was the only " +
+			"option, and the rear vehicle collided with the AV.",
+		ReportedCause: "incorrect behavior prediction",
+		Tag:           ontology.TagIncorrectBehaviorPrediction,
+		Timeline: []ScenarioEvent{
+			{Actor: CompEnvironment, Action: "pedestrian starts crossing at the intersection"},
+			{Actor: CompRecognition, Action: "detects pedestrian; scene model updated late",
+				Inadequate: true, UCA: UCAWrongTiming},
+			{Actor: CompPlanner, Action: "decides to yield but does not command a stop",
+				Inadequate: true, UCA: UCAProvidedUnsafe},
+			{Actor: CompDriver, Action: "proactively disengages and takes manual control"},
+			{Actor: CompDriver, Action: "brakes; boxed in by front and rear traffic"},
+			{Actor: CompNonAVDriver, Action: "rear vehicle collides with the stopped AV"},
+		},
+	}
+}
+
+// CaseStudyII returns the paper's second case study: the AV's stop-creep
+// behavior before a right turn confuses the driver behind, who rear-ends
+// it.
+func CaseStudyII() Scenario {
+	return Scenario{
+		Name: "Case Study II: Anticipating AV Behavior",
+		Narrative: "A Waymo prototype signaled a right turn, decelerated, " +
+			"stopped completely, then crept toward the intersection so the " +
+			"recognition system could analyze cross traffic. The driver " +
+			"behind interpreted the creep as the AV continuing its turn, " +
+			"started moving, and rear-ended the AV.",
+		ReportedCause: "Disengage for a recklessly behaving road user",
+		Tag:           ontology.TagEnvironment,
+		Timeline: []ScenarioEvent{
+			{Actor: CompPlanner, Action: "signals right turn and decelerates"},
+			{Actor: CompMechanical, Action: "comes to a complete stop"},
+			{Actor: CompPlanner, Action: "creeps forward to give recognition a view of cross traffic",
+				Inadequate: true, UCA: UCAProvidedUnsafe},
+			{Actor: CompNonAVDriver, Action: "interprets creep as the AV proceeding; starts moving",
+				Inadequate: true, UCA: UCAProvidedUnsafe},
+			{Actor: CompNonAVDriver, Action: "rear vehicle collides with the AV"},
+		},
+	}
+}
+
+// Analysis is the STPA read-out of a scenario.
+type Analysis struct {
+	Scenario string
+	// Inadequate lists the inadequate-control steps found.
+	Inadequate []ScenarioEvent
+	// Loops lists the IDs of every control loop touched by an inadequate
+	// step's actor.
+	Loops []string
+	// Factors is the causal-factor enumeration for the scenario's tag.
+	Factors []CausalFactor
+}
+
+// Analyze extracts the inadequate control actions of a scenario, the
+// control loops they corrupt, and the tag-level causal factors.
+func (s *Structure) Analyze(sc Scenario) (Analysis, error) {
+	a := Analysis{Scenario: sc.Name}
+	loopSet := make(map[string]struct{})
+	for _, ev := range sc.Timeline {
+		if _, err := s.Component(ev.Actor); err != nil {
+			return Analysis{}, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		if !ev.Inadequate {
+			continue
+		}
+		a.Inadequate = append(a.Inadequate, ev)
+		for _, l := range s.LoopsContaining(ev.Actor) {
+			loopSet[l.ID] = struct{}{}
+		}
+	}
+	for _, l := range s.loops {
+		if _, ok := loopSet[l.ID]; ok {
+			a.Loops = append(a.Loops, l.ID)
+		}
+	}
+	factors, err := s.CausalAnalysis(sc.Tag)
+	if err != nil {
+		return Analysis{}, err
+	}
+	a.Factors = factors
+	return a, nil
+}
+
+// Render prints an analysis as indented text for reports.
+func (a Analysis) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", a.Scenario)
+	fmt.Fprintf(&sb, "  inadequate control actions:\n")
+	for _, ev := range a.Inadequate {
+		fmt.Fprintf(&sb, "    - [%s] %s (%s)\n", ev.Actor, ev.Action, ev.UCA)
+	}
+	fmt.Fprintf(&sb, "  control loops involved: %s\n", strings.Join(a.Loops, ", "))
+	fmt.Fprintf(&sb, "  causal factors:\n")
+	for _, f := range a.Factors {
+		fmt.Fprintf(&sb, "    - %s in %s: %s\n", f.Component, f.Loop, f.Mechanism)
+	}
+	return sb.String()
+}

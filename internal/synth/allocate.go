@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// largestRemainder apportions total integer units across buckets in
+// proportion to weights, with the classic largest-remainder (Hamilton)
+// method: floors first, then one extra unit to the buckets with the biggest
+// fractional parts. The result always sums exactly to total. Zero or
+// negative weights receive nothing unless every weight is non-positive, in
+// which case units are spread evenly from the front.
+func largestRemainder(total int, weights []float64) []int {
+	n := len(weights)
+	out := make([]int, n)
+	if total <= 0 || n == 0 {
+		return out
+	}
+	var sum float64
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum <= 0 {
+		for i := 0; i < total; i++ {
+			out[i%n]++
+		}
+		return out
+	}
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, 0, n)
+	assigned := 0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		exact := float64(total) * w / sum
+		fl := int(exact)
+		out[i] = fl
+		assigned += fl
+		fracs = append(fracs, frac{idx: i, rem: exact - float64(fl)})
+	}
+	sort.Slice(fracs, func(a, b int) bool {
+		if fracs[a].rem != fracs[b].rem {
+			return fracs[a].rem > fracs[b].rem
+		}
+		return fracs[a].idx < fracs[b].idx // deterministic tie-break
+	})
+	for i := 0; assigned < total && len(fracs) > 0; i++ {
+		out[fracs[i%len(fracs)].idx]++
+		assigned++
+	}
+	return out
+}
+
+// multinomial draws total units into buckets with probabilities
+// proportional to weights: each unit lands independently, so bucket counts
+// have the natural (Poisson-like) dispersion while the total stays exact.
+// Degenerate weights fall back to even spreading.
+func multinomial(total int, weights []float64, rng *rand.Rand) []int {
+	n := len(weights)
+	out := make([]int, n)
+	if total <= 0 || n == 0 {
+		return out
+	}
+	prefix := make([]float64, n)
+	var sum float64
+	for i, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+		prefix[i] = sum
+	}
+	if sum <= 0 {
+		for i := 0; i < total; i++ {
+			out[i%n]++
+		}
+		return out
+	}
+	for d := 0; d < total; d++ {
+		u := rng.Float64() * sum
+		idx := sort.SearchFloat64s(prefix, u)
+		if idx >= n {
+			idx = n - 1
+		}
+		// Skip zero-weight buckets the search may land on (their prefix
+		// equals the previous bucket's).
+		for idx < n-1 && weights[idx] <= 0 {
+			idx++
+		}
+		out[idx]++
+	}
+	return out
+}
+
+// splitAmount divides a float total across buckets proportionally to
+// weights (no rounding; the pieces sum to total up to float error, with the
+// residual folded into the largest bucket for exactness).
+func splitAmount(total float64, weights []float64) []float64 {
+	n := len(weights)
+	out := make([]float64, n)
+	var sum float64
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum <= 0 || n == 0 {
+		if n > 0 {
+			out[0] = total
+		}
+		return out
+	}
+	var acc float64
+	maxIdx := 0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		out[i] = total * w / sum
+		acc += out[i]
+		if out[i] > out[maxIdx] {
+			maxIdx = i
+		}
+	}
+	out[maxIdx] += total - acc
+	return out
+}

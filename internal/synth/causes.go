@@ -1,0 +1,214 @@
+package synth
+
+import (
+	"math/rand"
+
+	"avfda/internal/calib"
+	"avfda/internal/ontology"
+)
+
+// calibCategory aliases the calibration row type used to build decks.
+type calibCategory = calib.CategoryPct
+
+// causeTemplates holds the natural-language phrasings manufacturers use for
+// each fault class. Wording varies per vendor in the real corpus; here each
+// tag carries several phrasings, from dictionary-obvious to oblique, so the
+// NLP stage is exercised rather than pattern-matched.
+var causeTemplates = map[ontology.Tag][]string{
+	ontology.TagEnvironment: {
+		"Disengage for a recklessly behaving road user",
+		"Undetected construction zones ahead, driver took over",
+		"Emergency vehicle approaching with siren, safe operation takeover",
+		"Debris on roadway forced manual takeover",
+		"Unexpected cyclist crossing against the signal",
+		"Heavy rain conditions degraded safe operation",
+		"Sun glare blinding forward view at low elevation",
+		"Jaywalking pedestrian entered the travel lane",
+	},
+	ontology.TagComputerSystem: {
+		"Processors overloading on the onboard computer",
+		"Compute unit fault required reboot",
+		"CPU utilization exceeded safe threshold",
+		"Memory exhaustion on onboard computer triggered takeover",
+		"Hardware fault in main computer",
+	},
+	ontology.TagRecognitionSystem: {
+		"The AV didn't see the lead vehicle, driver safely disengaged and resumed manual control",
+		"Failing to detect traffic lights at the intersection",
+		"Failed to detect lane markings after repaving",
+		"Perception system failure on merging traffic",
+		"False detection of obstacle caused hard braking",
+		"Misclassifies objects on shoulder as in-path",
+		"Failed to recognize pedestrian near crosswalk",
+		"Incorrect object tracking through occlusion",
+	},
+	ontology.TagPlanner: {
+		"Incorrect motion plan at four-way stop",
+		"Improper planning of maneuver during lane change",
+		"Planner producing infeasible paths around double-parked cars",
+		"Failed to anticipate driver of adjacent vehicle",
+		"Unwanted maneuver planned toward closed lane",
+		"Poor lane change decision in dense traffic",
+		"Trajectory planning error approaching roundabout",
+	},
+	ontology.TagSensor: {
+		"LIDAR failed to localize in time",
+		"GPS localization lost under overpass",
+		"Sensor dropouts on front radar unit",
+		"Radar return blocked by truck spray",
+		"Camera obstructed by condensation",
+		"Localization timed out during tunnel transit",
+		"Sensor calibration drift beyond tolerance",
+	},
+	ontology.TagNetwork: {
+		"Data rate exceeded network capacity",
+		"CAN bus overload dropped safety messages",
+		"Network latency exceeded threshold for control loop",
+		"Dropped messages on vehicle bus during burst",
+	},
+	ontology.TagDesignBug: {
+		"System was not designed to handle unprotected left with occluded view",
+		"Situation outside design domain: flooded roadway",
+		"Unsupported roadway configuration: diagonal crossing",
+		"Unforeseen scenario encountered at railroad crossing",
+	},
+	ontology.TagSoftware: {
+		"Software module froze. As a result driver safely disengaged and resumed manual control",
+		"Software crashed in planning process",
+		"Software hangs detected by health monitor",
+		"Software bug detected in map matching",
+		"Process terminated unexpectedly, takeover requested",
+		"System software error required manual control",
+		"Application fault caused restart of driving stack",
+	},
+	ontology.TagAVControllerSystem: {
+		"Controller not responding to commands",
+		"Controller unresponsive to commands from follower",
+		"Actuation command ignored by low-level controller",
+		"Steering command rejected by controller",
+	},
+	ontology.TagAVControllerML: {
+		"Controller made wrong decisions at intersection approach",
+		"Controller incorrect prediction of gap acceptance",
+		"Bad control decision at intersection with cross traffic",
+	},
+	ontology.TagHangCrash: {
+		"Takeover-Request - watchdog error",
+		"Watchdog timers expired on control module",
+		"Watchdog timeout reset the driving computer",
+	},
+	ontology.TagIncorrectBehaviorPrediction: {
+		"Incorrect behavior prediction",
+		"Behavior prediction wrong for merging vehicle",
+		"Failed to predict behavior of road user at crosswalk",
+	},
+	// Unknown-T: deliberately information-free phrasings, the Tesla style
+	// (98.35% of Tesla causes are Unknown-C in Table IV). These must share
+	// no stems with any dictionary entry — "planned takeover" would vote
+	// for the Planner tag via the "plan" stem.
+	ontology.TagUnknownT: {
+		"Disengagement reported",
+		"Event recorded per company procedure",
+		"Review pending",
+		"Operational event, details on file",
+		"Entry filed with internal reference number",
+	},
+}
+
+// causeFor draws a cause text for tag using rng.
+func causeFor(tag ontology.Tag, rng *rand.Rand) string {
+	ts := causeTemplates[tag]
+	if len(ts) == 0 {
+		ts = causeTemplates[ontology.TagUnknownT]
+	}
+	return ts[rng.Intn(len(ts))]
+}
+
+// tagWeights maps each failure-category bucket to its per-tag composition.
+// The splits are not published by the paper; they are chosen to produce
+// Fig. 6's qualitative picture (recognition dominating perception,
+// software dominating system faults).
+var (
+	perceptionTags = []weightedTag{
+		{ontology.TagRecognitionSystem, 0.70},
+		{ontology.TagEnvironment, 0.30},
+	}
+	plannerTags = []weightedTag{
+		{ontology.TagPlanner, 0.55},
+		{ontology.TagIncorrectBehaviorPrediction, 0.25},
+		{ontology.TagDesignBug, 0.12},
+		{ontology.TagAVControllerML, 0.08},
+	}
+	systemTags = []weightedTag{
+		{ontology.TagSoftware, 0.35},
+		{ontology.TagComputerSystem, 0.20},
+		{ontology.TagSensor, 0.20},
+		{ontology.TagHangCrash, 0.10},
+		{ontology.TagAVControllerSystem, 0.10},
+		{ontology.TagNetwork, 0.05},
+	}
+)
+
+type weightedTag struct {
+	tag ontology.Tag
+	w   float64
+}
+
+// catKind indexes the four Table IV category buckets.
+type catKind int
+
+const (
+	catPerception catKind = iota
+	catPlanner
+	catSystem
+	catUnknown
+)
+
+// buildCategoryDeck apportions n events across the four category buckets by
+// largest remainder (so Table IV percentages are reproduced exactly up to
+// integer rounding) and shuffles the deck so categories land uniformly in
+// time.
+func buildCategoryDeck(n int, cat calibCategory, rng *rand.Rand) []catKind {
+	counts := largestRemainder(n, []float64{
+		cat.PerceptionPct, cat.PlannerPct, cat.SystemPct, cat.UnknownPct,
+	})
+	deck := make([]catKind, 0, n)
+	for k, c := range counts {
+		for i := 0; i < c; i++ {
+			deck = append(deck, catKind(k))
+		}
+	}
+	rng.Shuffle(len(deck), func(i, j int) { deck[i], deck[j] = deck[j], deck[i] })
+	return deck
+}
+
+// tagForCategory samples a concrete fault tag within a category bucket.
+func tagForCategory(k catKind, rng *rand.Rand) ontology.Tag {
+	switch k {
+	case catPerception:
+		return drawWeighted(perceptionTags, rng)
+	case catPlanner:
+		return drawWeighted(plannerTags, rng)
+	case catSystem:
+		return drawWeighted(systemTags, rng)
+	default:
+		return ontology.TagUnknownT
+	}
+}
+
+// drawWeighted samples from a weighted tag list.
+func drawWeighted(ws []weightedTag, rng *rand.Rand) ontology.Tag {
+	var total float64
+	for _, w := range ws {
+		total += w.w
+	}
+	u := rng.Float64() * total
+	var acc float64
+	for _, w := range ws {
+		acc += w.w
+		if u < acc {
+			return w.tag
+		}
+	}
+	return ws[len(ws)-1].tag
+}

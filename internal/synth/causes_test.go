@@ -1,0 +1,57 @@
+package synth
+
+import (
+	"testing"
+
+	"avfda/internal/nlp"
+	"avfda/internal/ontology"
+)
+
+// The synthetic cause templates and the NLP seed dictionary must stay
+// consistent: every Unknown-T template must classify to Unknown-T (no
+// accidental stem overlap with a tag's keywords), and every tagged
+// template must classify at least to the correct category, with a strong
+// majority recovering the exact tag. These pins keep Table IV reproducible
+// end to end.
+
+func TestUnknownTemplatesStayUnknown(t *testing.T) {
+	cls, err := nlp.NewClassifier(nlp.SeedDictionary(), nlp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range causeTemplates[ontology.TagUnknownT] {
+		res := cls.Classify(text)
+		if res.Tag != ontology.TagUnknownT {
+			t.Errorf("Unknown template %q classified as %s (matched %v)", text, res.Tag, res.Matched)
+		}
+	}
+}
+
+func TestTaggedTemplatesRecoverTag(t *testing.T) {
+	cls, err := nlp.NewClassifier(nlp.SeedDictionary(), nlp.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, tagHit, catHit int
+	for tag, texts := range causeTemplates {
+		if tag == ontology.TagUnknownT {
+			continue
+		}
+		for _, text := range texts {
+			res := cls.Classify(text)
+			total++
+			if res.Tag == tag {
+				tagHit++
+			}
+			if res.Category == ontology.CategoryOf(tag) {
+				catHit++
+			} else {
+				t.Errorf("template %q (tag %s): category %s, want %s (got tag %s, matched %v)",
+					text, tag, res.Category, ontology.CategoryOf(tag), res.Tag, res.Matched)
+			}
+		}
+	}
+	if float64(tagHit) < 0.9*float64(total) {
+		t.Errorf("only %d/%d templates recover their exact tag", tagHit, total)
+	}
+}
