@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml: `make ci` runs exactly what CI runs.
+
+GO ?= go
+
+RACE_PKGS := ./internal/pipeline ./internal/parse ./internal/nlp ./internal/ocr
+BENCH_SMOKE := PipelineEndToEnd|ParseConcurrent|ClassifyAll
+
+.PHONY: build vet test race bench fmt ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench '$(BENCH_SMOKE)' -benchtime 1x -run '^$$' ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "unformatted files:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+ci: build vet test race fmt bench

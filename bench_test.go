@@ -9,8 +9,10 @@ package avfda
 // benchmark measures only its artifact's computation.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -19,6 +21,7 @@ import (
 	"avfda/internal/mission"
 	"avfda/internal/nlp"
 	"avfda/internal/ocr"
+	"avfda/internal/parse"
 	"avfda/internal/pipeline"
 	"avfda/internal/reliability"
 	"avfda/internal/report"
@@ -416,23 +419,103 @@ func BenchmarkSynthGenerate(b *testing.B) {
 }
 
 // BenchmarkPipelineScale measures end-to-end throughput on corpora scaled
-// to multiples of the calibrated fleet (Scale x cars/miles/events).
+// to multiples of the calibrated fleet (Scale x cars/miles/events), both
+// sequential (Workers=1) and parallel (Workers=GOMAXPROCS); the seq/par
+// ratio at each scale is the pipeline's parallel speedup.
 func BenchmarkPipelineScale(b *testing.B) {
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1},
+		{fmt.Sprintf("par-%d", runtime.GOMAXPROCS(0)), 0},
+	}
 	for _, scale := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("%dx", scale), func(b *testing.B) {
-			cfg := pipeline.DefaultConfig()
-			cfg.Synth.Scale = scale
-			var events int
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("%dx-%s", scale, mode.name), func(b *testing.B) {
+				cfg := pipeline.DefaultConfig()
+				cfg.Synth.Scale = scale
+				cfg.Workers = mode.workers
+				var events int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg.Synth.Seed = int64(i + 1)
+					res, err := pipeline.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					events = len(res.DB.Events)
+				}
+				b.ReportMetric(float64(events), "events")
+			})
+		}
+	}
+}
+
+// BenchmarkParseConcurrent measures Stage II parsing throughput at 1 and
+// GOMAXPROCS workers over the default decoded document set.
+func BenchmarkParseConcurrent(b *testing.B) {
+	truth, err := synth.Generate(synth.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := scandoc.Render(&truth.Corpus)
+	engine, err := ocr.NewEngine(ocr.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	decoded, err := engine.DecodeAllConcurrent(context.Background(), docs, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]parse.Input, 0, len(decoded))
+	for _, d := range decoded {
+		inputs = append(inputs, parse.Input{DocID: d.DocID, Lines: d.Lines})
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var rows int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cfg.Synth.Seed = int64(i + 1)
-				res, err := pipeline.Run(cfg)
+				_, rep, err := parse.ParseConcurrent(inputs, workers)
 				if err != nil {
 					b.Fatal(err)
 				}
-				events = len(res.DB.Events)
+				rows = rep.RowsParsed
 			}
-			b.ReportMetric(float64(events), "events")
+			b.ReportMetric(float64(rows), "rows")
+		})
+	}
+}
+
+// BenchmarkClassifyAll measures Stage III classification throughput over
+// the full synthetic cause corpus at 1 and GOMAXPROCS workers.
+func BenchmarkClassifyAll(b *testing.B) {
+	truth, err := synth.Generate(synth.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	causes := make([]string, len(truth.Corpus.Disengagements))
+	for i, d := range truth.Corpus.Disengagements {
+		causes[i] = d.Cause
+	}
+	cls, err := nlp.NewClassifier(nlp.SeedDictionary(), nlp.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var tagged int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tagged = 0
+				for _, r := range cls.ClassifyAllConcurrent(causes, workers) {
+					if r.Score > 0 {
+						tagged++
+					}
+				}
+			}
+			b.ReportMetric(float64(tagged), "tagged")
 		})
 	}
 }

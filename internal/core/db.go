@@ -37,24 +37,36 @@ type DB struct {
 // Build classifies every disengagement cause in the corpus and assembles
 // the database.
 func Build(corpus *schema.Corpus, cls *nlp.Classifier) (*DB, error) {
+	return BuildConcurrent(corpus, cls, 1)
+}
+
+// BuildConcurrent classifies the disengagement causes across a bounded
+// worker pool before the ordered consolidation step. The classifier is
+// read-only, so the database is identical to Build's at any worker count;
+// workers <= 0 selects GOMAXPROCS.
+func BuildConcurrent(corpus *schema.Corpus, cls *nlp.Classifier, workers int) (*DB, error) {
 	if corpus == nil {
 		return nil, errors.New("core: nil corpus")
 	}
 	if cls == nil {
 		return nil, errors.New("core: nil classifier")
 	}
+	causes := make([]string, len(corpus.Disengagements))
+	for i, d := range corpus.Disengagements {
+		causes[i] = d.Cause
+	}
+	results := cls.ClassifyAllConcurrent(causes, workers)
 	db := &DB{
 		Fleets:    append([]schema.Fleet(nil), corpus.Fleets...),
 		Mileage:   append([]schema.MonthlyMileage(nil), corpus.Mileage...),
 		Accidents: append([]schema.Accident(nil), corpus.Accidents...),
 		Events:    make([]Event, 0, len(corpus.Disengagements)),
 	}
-	for _, d := range corpus.Disengagements {
-		res := cls.Classify(d.Cause)
+	for i, d := range corpus.Disengagements {
 		db.Events = append(db.Events, Event{
 			Disengagement: d,
-			Tag:           res.Tag,
-			Category:      res.Category,
+			Tag:           results[i].Tag,
+			Category:      results[i].Category,
 		})
 	}
 	return db, nil

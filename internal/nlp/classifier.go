@@ -2,7 +2,9 @@ package nlp
 
 import (
 	"errors"
+	"runtime"
 	"sort"
+	"sync"
 
 	"avfda/internal/ontology"
 )
@@ -183,12 +185,48 @@ func (c *Classifier) Classify(text string) Result {
 	return best
 }
 
-// ClassifyAll maps each text through Classify.
+// ClassifyAll maps each text through Classify, fanning the work out across
+// GOMAXPROCS workers. Output order matches input order and is identical to
+// a sequential loop: the classifier is read-only after construction and
+// Classify is a pure function of its input.
 func (c *Classifier) ClassifyAll(texts []string) []Result {
-	out := make([]Result, len(texts))
-	for i, t := range texts {
-		out[i] = c.Classify(t)
+	return c.ClassifyAllConcurrent(texts, 0)
+}
+
+// ClassifyAllConcurrent maps each text through Classify with a bounded
+// number of workers, sharding the input range into contiguous chunks.
+// Workers <= 0 selects GOMAXPROCS; workers == 1 runs sequentially. Results
+// are identical at any worker count.
+func (c *Classifier) ClassifyAllConcurrent(texts []string, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(texts) {
+		workers = len(texts)
+	}
+	out := make([]Result, len(texts))
+	if workers <= 1 {
+		for i, t := range texts {
+			out[i] = c.Classify(t)
+		}
+		return out
+	}
+	chunk := (len(texts) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(texts); lo += chunk {
+		hi := lo + chunk
+		if hi > len(texts) {
+			hi = len(texts)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = c.Classify(texts[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return out
 }
 

@@ -2,6 +2,7 @@ package nlp
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -305,6 +306,40 @@ func TestClassifyAll(t *testing.T) {
 	res := cls.ClassifyAll([]string{"watchdog error", "software crash"})
 	if len(res) != 2 || res[0].Tag != ontology.TagHangCrash || res[1].Tag != ontology.TagSoftware {
 		t.Errorf("ClassifyAll = %v", res)
+	}
+}
+
+func TestClassifyAllConcurrentMatchesSequential(t *testing.T) {
+	cls, err := NewClassifier(SeedDictionary(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []string{
+		"watchdog error",
+		"Software module froze during merge",
+		"LIDAR failed to localize in time",
+		"Disengage for a recklessly behaving road user",
+		"Incorrect behavior prediction at crosswalk",
+		"network dropout on the cellular link",
+		"",
+		"totally unrelated text",
+	}
+	var texts []string
+	for i := 0; i < 40; i++ {
+		texts = append(texts, base...)
+	}
+	want := make([]Result, len(texts))
+	for i, s := range texts {
+		want[i] = cls.Classify(s)
+	}
+	for _, workers := range []int{0, 1, 3, 8, 64, len(texts) + 7} {
+		got := cls.ClassifyAllConcurrent(texts, workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: results differ from sequential classification", workers)
+		}
+	}
+	if got := cls.ClassifyAllConcurrent(nil, 4); len(got) != 0 {
+		t.Errorf("nil input returned %d results", len(got))
 	}
 }
 

@@ -10,9 +10,11 @@ package parse
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"avfda/internal/scandoc"
@@ -51,25 +53,79 @@ func (r *Report) DefectRate() float64 {
 
 // Parse converts the document set into a normalized corpus.
 func Parse(inputs []Input) (*schema.Corpus, *Report, error) {
+	return ParseConcurrent(inputs, 1)
+}
+
+// ParseConcurrent parses the document set with a bounded worker pool.
+// Documents are independent (vehicle-ID canonicalization is scoped to one
+// report), so each worker parses into a private corpus/report fragment and
+// the fragments are merged in input order: output is byte-identical to
+// Parse for any worker count. Workers <= 0 selects GOMAXPROCS.
+func ParseConcurrent(inputs []Input, workers int) (*schema.Corpus, *Report, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	corpora := make([]*schema.Corpus, len(inputs))
+	reports := make([]*Report, len(inputs))
+	if workers <= 1 {
+		for i := range inputs {
+			corpora[i], reports[i] = parseDocument(inputs[i])
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					corpora[i], reports[i] = parseDocument(inputs[i])
+				}
+			}()
+		}
+		for i := range inputs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
 	corpus := &schema.Corpus{}
 	rep := &Report{Documents: len(inputs)}
-	for _, in := range inputs {
-		if len(in.Lines) == 0 {
-			rep.SkippedDocs++
-			rep.Defects = append(rep.Defects, Defect{DocID: in.DocID, Reason: "empty document"})
-			continue
-		}
-		switch sniffKind(in.Lines[0]) {
-		case scandoc.DisengagementReport:
-			parseDisengagementDoc(in, corpus, rep)
-		case scandoc.AccidentReport:
-			parseAccidentDoc(in, corpus, rep)
-		default:
-			rep.SkippedDocs++
-			rep.Defects = append(rep.Defects, Defect{DocID: in.DocID, Reason: "unrecognized document title"})
-		}
+	for i := range inputs {
+		corpus.Fleets = append(corpus.Fleets, corpora[i].Fleets...)
+		corpus.Mileage = append(corpus.Mileage, corpora[i].Mileage...)
+		corpus.Disengagements = append(corpus.Disengagements, corpora[i].Disengagements...)
+		corpus.Accidents = append(corpus.Accidents, corpora[i].Accidents...)
+		rep.RowsParsed += reports[i].RowsParsed
+		rep.SkippedDocs += reports[i].SkippedDocs
+		rep.Defects = append(rep.Defects, reports[i].Defects...)
 	}
 	return corpus, rep, nil
+}
+
+// parseDocument parses one document into its own corpus/report fragment.
+func parseDocument(in Input) (*schema.Corpus, *Report) {
+	corpus := &schema.Corpus{}
+	rep := &Report{}
+	if len(in.Lines) == 0 {
+		rep.SkippedDocs++
+		rep.Defects = append(rep.Defects, Defect{DocID: in.DocID, Reason: "empty document"})
+		return corpus, rep
+	}
+	switch sniffKind(in.Lines[0]) {
+	case scandoc.DisengagementReport:
+		parseDisengagementDoc(in, corpus, rep)
+	case scandoc.AccidentReport:
+		parseAccidentDoc(in, corpus, rep)
+	default:
+		rep.SkippedDocs++
+		rep.Defects = append(rep.Defects, Defect{DocID: in.DocID, Reason: "unrecognized document title"})
+	}
+	return corpus, rep
 }
 
 // sniffKind identifies the document class from its title line, tolerating

@@ -3,6 +3,7 @@ package parse
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -357,5 +358,50 @@ func TestParseReaction(t *testing.T) {
 	}
 	if _, err := parseReaction("garbage"); err == nil {
 		t.Error("garbage reaction: want error")
+	}
+}
+
+func TestParseConcurrentMatchesSequential(t *testing.T) {
+	truth, err := synth.Generate(synth.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := scandoc.Render(&truth.Corpus)
+	eng, err := ocr.NewEngine(ocr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs []Input
+	for _, res := range eng.DecodeAll(docs) {
+		inputs = append(inputs, Input{DocID: res.DocID, Lines: res.Lines})
+	}
+	wantCorpus, wantRep, err := Parse(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 16, len(inputs) + 1} {
+		gotCorpus, gotRep, err := ParseConcurrent(inputs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(wantCorpus, gotCorpus) {
+			t.Errorf("workers=%d: corpus differs from sequential parse", workers)
+		}
+		if !reflect.DeepEqual(wantRep, gotRep) {
+			t.Errorf("workers=%d: report differs from sequential parse", workers)
+		}
+	}
+}
+
+func TestParseConcurrentEmptyInput(t *testing.T) {
+	corpus, rep, err := ParseConcurrent(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Documents != 0 || rep.RowsParsed != 0 || len(rep.Defects) != 0 {
+		t.Errorf("empty input report = %+v", rep)
+	}
+	if len(corpus.Disengagements) != 0 {
+		t.Errorf("empty input produced events")
 	}
 }

@@ -10,13 +10,30 @@
 //
 // The result carries per-stage diagnostics (OCR artifacts, parse defects,
 // tag-recovery accuracy against the planted ground truth) so experiments
-// can attribute end-to-end error to individual stages.
+// can attribute end-to-end error to individual stages, plus per-stage
+// wall-clock timings (StageTimings) so runs report where time goes.
+//
+// # Concurrency model
+//
+// Stages II and III fan out across bounded worker pools sized by
+// Config.Workers (<= 0 selects GOMAXPROCS, 1 forces sequential execution):
+// OCR decoding (ocr.DecodeAllConcurrent), parsing (parse.ParseConcurrent,
+// one worker per document), and cause classification
+// (nlp.Classifier.ClassifyAllConcurrent, contiguous shards of the cause
+// list). Every parallel step is deterministic by construction — OCR noise
+// is derived per document, documents parse into private fragments merged
+// in input order, and the classifier is read-only after construction — so
+// pipeline output is byte-identical for any worker count and any seed.
+// Dictionary expansion and the final consolidation remain sequential:
+// expansion is an iterated global fixpoint and consolidation is a cheap
+// ordered assembly.
 package pipeline
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"avfda/internal/core"
@@ -42,6 +59,10 @@ type Config struct {
 	ExpandDictionary bool
 	// Expand tunes the expansion when enabled.
 	Expand nlp.ExpandOptions
+	// Workers bounds the worker pools of the concurrent stages (OCR
+	// decoding, parsing, classification). <= 0 selects GOMAXPROCS and 1
+	// forces sequential execution; output is identical at any setting.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used for the reproduction runs.
@@ -52,6 +73,53 @@ func DefaultConfig() Config {
 		NLP:              nlp.DefaultOptions(),
 		ExpandDictionary: true,
 	}
+}
+
+// StageTimings records per-stage wall-clock time for one pipeline run.
+// Stages that did not execute (Synth under RunOnCorpus, Expand when
+// dictionary expansion is disabled) stay zero.
+type StageTimings struct {
+	// Synth is Stage I corpus generation (Run only).
+	Synth time.Duration
+	// Render is the corpus-to-scanned-documents step.
+	Render time.Duration
+	// OCR is document decoding plus digitization-stat aggregation.
+	OCR time.Duration
+	// Parse is normalization of decoded text into schema form.
+	Parse time.Duration
+	// Expand is the corpus-mining dictionary expansion passes.
+	Expand time.Duration
+	// Classify is classifier construction plus cause classification.
+	Classify time.Duration
+	// Build is the ordered consolidation into the failure database.
+	Build time.Duration
+}
+
+// Total sums the recorded stage timings. Result.Elapsed equals it.
+func (s StageTimings) Total() time.Duration {
+	return s.Synth + s.Render + s.OCR + s.Parse + s.Expand + s.Classify + s.Build
+}
+
+// String renders the nonzero stages compactly, in pipeline order.
+func (s StageTimings) String() string {
+	var b strings.Builder
+	add := func(name string, d time.Duration) {
+		if d == 0 {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", name, d.Round(time.Microsecond))
+	}
+	add("synth", s.Synth)
+	add("render", s.Render)
+	add("ocr", s.OCR)
+	add("parse", s.Parse)
+	add("expand", s.Expand)
+	add("classify", s.Classify)
+	add("build", s.Build)
+	return b.String()
 }
 
 // OCRStats aggregates digitization diagnostics across all documents.
@@ -143,34 +211,44 @@ type Result struct {
 	// DictionarySize is the final failure-dictionary size (after
 	// expansion when enabled).
 	DictionarySize int
-	// Elapsed is the wall-clock run time.
+	// Stages breaks the run's wall-clock time down per stage.
+	Stages StageTimings
+	// Elapsed is the sum of the recorded stage timings (Stages.Total())
+	// in both Run and RunOnCorpus.
 	Elapsed time.Duration
 }
 
-// Run executes the full pipeline.
+// Run executes the full pipeline. Result.Elapsed is the sum of the stage
+// timings, Stage I included; the accuracy scoring against the planted
+// ground truth is diagnostics, not a pipeline stage, and is not counted.
 func Run(cfg Config) (*Result, error) {
-	start := time.Now()
+	mark := time.Now()
 	truth, err := synth.Generate(cfg.Synth)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stage I: %w", err)
 	}
+	synthElapsed := time.Since(mark)
 	res, err := RunOnCorpus(cfg, &truth.Corpus)
 	if err != nil {
 		return nil, err
 	}
 	res.Truth = truth
 	res.Accuracy = scoreAccuracy(truth, res.DB)
-	res.Elapsed = time.Since(start)
+	res.Stages.Synth = synthElapsed
+	res.Elapsed = res.Stages.Total()
 	return res, nil
 }
 
 // RunOnCorpus executes Stages II-IV on an existing normalized corpus: it
 // renders the corpus to documents, digitizes, parses, classifies, and
 // consolidates. Use this entry point for real (non-synthetic) data that
-// has already been transcribed into schema form.
+// has already been transcribed into schema form. Result.Elapsed is the sum
+// of the Stage II-IV timings (Stages.Synth stays zero).
 func RunOnCorpus(cfg Config, corpus *schema.Corpus) (*Result, error) {
-	start := time.Now()
+	var st StageTimings
+	mark := time.Now()
 	docs := scandoc.Render(corpus)
+	st.Render = time.Since(mark)
 
 	engine, err := ocr.NewEngine(cfg.OCR)
 	if err != nil {
@@ -178,7 +256,8 @@ func RunOnCorpus(cfg Config, corpus *schema.Corpus) (*Result, error) {
 	}
 	// Per-document noise derivation makes parallel decoding byte-identical
 	// to sequential, so digitization fans out across cores.
-	decoded, err := engine.DecodeAllConcurrent(context.Background(), docs, 0)
+	mark = time.Now()
+	decoded, err := engine.DecodeAllConcurrent(context.Background(), docs, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stage II (ocr): %w", err)
 	}
@@ -198,39 +277,55 @@ func RunOnCorpus(cfg Config, corpus *schema.Corpus) (*Result, error) {
 	if ocrStats.Documents > 0 {
 		ocrStats.MeanConfidence = confSum / float64(ocrStats.Documents)
 	}
+	st.OCR = time.Since(mark)
 
-	recovered, parseReport, err := parse.Parse(inputs)
+	mark = time.Now()
+	recovered, parseReport, err := parse.ParseConcurrent(inputs, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stage II (parse): %w", err)
 	}
+	st.Parse = time.Since(mark)
 
+	causes := make([]string, len(recovered.Disengagements))
+	for i, d := range recovered.Disengagements {
+		causes[i] = d.Cause
+	}
 	dict := nlp.SeedDictionary()
 	if cfg.ExpandDictionary {
-		causes := make([]string, 0, len(recovered.Disengagements))
-		for _, d := range recovered.Disengagements {
-			causes = append(causes, d.Cause)
-		}
+		mark = time.Now()
 		expanded, _, err := nlp.Expand(dict, causes, cfg.NLP, cfg.Expand)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: stage III (expand): %w", err)
 		}
 		dict = expanded
+		st.Expand = time.Since(mark)
 	}
+	mark = time.Now()
 	cls, err := nlp.NewClassifier(dict, cfg.NLP)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stage III: %w", err)
 	}
-	db, err := core.Build(recovered, cls)
+	classified := cls.ClassifyAllConcurrent(causes, cfg.Workers)
+	tags := make([]ontology.Tag, len(classified))
+	for i, r := range classified {
+		tags[i] = r.Tag
+	}
+	st.Classify = time.Since(mark)
+
+	mark = time.Now()
+	db, err := core.BuildWithTags(recovered, tags)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stage IV: %w", err)
 	}
+	st.Build = time.Since(mark)
 	return &Result{
 		Recovered:      recovered,
 		DB:             db,
 		ParseReport:    parseReport,
 		OCR:            ocrStats,
 		DictionarySize: dict.Size(),
-		Elapsed:        time.Since(start),
+		Stages:         st,
+		Elapsed:        st.Total(),
 	}, nil
 }
 

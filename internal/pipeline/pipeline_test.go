@@ -2,6 +2,8 @@ package pipeline
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"avfda/internal/calib"
@@ -239,6 +241,83 @@ func TestHeadlineStableAcrossSeeds(t *testing.T) {
 		if res.Accuracy.TagAccuracy() < 0.9 {
 			t.Errorf("seed %d: tag accuracy %.3f", seed, res.Accuracy.TagAccuracy())
 		}
+	}
+}
+
+func TestConcurrentPipelineMatchesSequential(t *testing.T) {
+	// The concurrency guarantee: for the same seed, output is byte-identical
+	// at any worker count.
+	base := DefaultConfig()
+	base.Synth.Seed = 21
+	seqCfg := base
+	seqCfg.Workers = 1
+	want, err := Run(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{runtime.GOMAXPROCS(0)}
+	if counts[0] != 4 {
+		counts = append(counts, 4)
+	}
+	for _, workers := range counts {
+		parCfg := base
+		parCfg.Workers = workers
+		got, err := Run(parCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.DB, got.DB) {
+			t.Errorf("workers=%d: consolidated DB differs from sequential run", workers)
+		}
+		if !reflect.DeepEqual(want.ParseReport, got.ParseReport) {
+			t.Errorf("workers=%d: parse report differs from sequential run", workers)
+		}
+		if !reflect.DeepEqual(want.Recovered, got.Recovered) {
+			t.Errorf("workers=%d: recovered corpus differs from sequential run", workers)
+		}
+		if want.OCR != got.OCR {
+			t.Errorf("workers=%d: OCR stats differ: %+v vs %+v", workers, got.OCR, want.OCR)
+		}
+		if !reflect.DeepEqual(want.Accuracy, got.Accuracy) {
+			t.Errorf("workers=%d: accuracy differs from sequential run", workers)
+		}
+		if want.DictionarySize != got.DictionarySize {
+			t.Errorf("workers=%d: dictionary size %d vs %d", workers, got.DictionarySize, want.DictionarySize)
+		}
+	}
+}
+
+func TestElapsedIsSumOfStages(t *testing.T) {
+	res := run(t)
+	if res.Elapsed != res.Stages.Total() {
+		t.Errorf("Run: Elapsed = %v, Stages.Total() = %v", res.Elapsed, res.Stages.Total())
+	}
+	for _, stage := range []struct {
+		name string
+		d    int64
+	}{
+		{"synth", int64(res.Stages.Synth)},
+		{"render", int64(res.Stages.Render)},
+		{"ocr", int64(res.Stages.OCR)},
+		{"parse", int64(res.Stages.Parse)},
+		{"expand", int64(res.Stages.Expand)},
+		{"classify", int64(res.Stages.Classify)},
+		{"build", int64(res.Stages.Build)},
+	} {
+		if stage.d <= 0 {
+			t.Errorf("Run: stage %s not timed", stage.name)
+		}
+	}
+
+	roc, err := RunOnCorpus(DefaultConfig(), &res.Truth.Corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roc.Stages.Synth != 0 {
+		t.Errorf("RunOnCorpus recorded synth time %v without running Stage I", roc.Stages.Synth)
+	}
+	if roc.Elapsed != roc.Stages.Total() {
+		t.Errorf("RunOnCorpus: Elapsed = %v, Stages.Total() = %v", roc.Elapsed, roc.Stages.Total())
 	}
 }
 
