@@ -2,10 +2,11 @@
 
 GO ?= go
 
-RACE_PKGS := ./internal/pipeline ./internal/parse ./internal/nlp ./internal/ocr
+RACE_PKGS := ./internal/pipeline ./internal/parse ./internal/nlp ./internal/ocr ./internal/query ./internal/serve
 BENCH_SMOKE := PipelineEndToEnd|ParseConcurrent|ClassifyAll
+SERVE_ADDR ?= 127.0.0.1:18080
 
-.PHONY: build vet test race bench fmt ci
+.PHONY: build vet test race bench fmt serve ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +22,20 @@ race:
 
 bench:
 	$(GO) test -bench '$(BENCH_SMOKE)' -benchtime 1x -run '^$$' ./...
+
+# Build avserve and smoke-test it: start on SERVE_ADDR, poll /healthz until
+# it answers, then shut the server down. Fails if the probe never succeeds.
+serve:
+	$(GO) build -o bin/avserve ./cmd/avserve
+	@./bin/avserve -addr $(SERVE_ADDR) & pid=$$!; \
+	ok=0; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS "http://$(SERVE_ADDR)/healthz" >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ "$$ok" != 1 ]; then echo "avserve never answered /healthz" >&2; exit 1; fi; \
+	echo "avserve healthy on $(SERVE_ADDR)"
 
 fmt:
 	@out="$$(gofmt -l .)"; \

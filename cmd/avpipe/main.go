@@ -80,6 +80,7 @@ func writeCSVs(db *core.DB, dir string) error {
 		build func() (interface{ WriteCSV(w io.Writer) error }, error)
 	}{
 		{"events.csv", func() (interface{ WriteCSV(w io.Writer) error }, error) { return db.EventsFrame() }},
+		{"accidents.csv", func() (interface{ WriteCSV(w io.Writer) error }, error) { return db.AccidentsFrame() }},
 		{"mileage.csv", func() (interface{ WriteCSV(w io.Writer) error }, error) { return db.MileageFrame() }},
 		{"dpm.csv", func() (interface{ WriteCSV(w io.Writer) error }, error) { return db.DPMFrame() }},
 	} {

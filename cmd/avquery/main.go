@@ -1,29 +1,32 @@
 // Command avquery runs ad-hoc queries over the consolidated failure
 // database: filter disengagements by manufacturer, tag, category, road,
-// modality, or month range, then list them or group-count them.
+// weather, modality, or month range, then list them or group-count them.
+// The filtering and grouping live in the reusable internal/query engine —
+// the same one behind the avserve HTTP API.
 //
 // Usage:
 //
 //	avquery [-seed 1] [-mfr Waymo] [-tag "Recognition System"]
-//	        [-category ML/Design] [-road highway] [-modality manual]
-//	        [-from 2015-01] [-to 2015-12]
-//	        [-by tag|category|month|road|modality|manufacturer]
-//	        [-limit 20] [-csv]
+//	        [-category ML/Design] [-road highway] [-weather rain]
+//	        [-modality manual] [-from 2015-01] [-to 2015-12]
+//	        [-by tag|category|month|road|weather|modality|manufacturer]
+//	        [-limit 20] [-csv] [-json]
 //
 // Without -by, matching events are listed (up to -limit); with -by, counts
-// per group are printed. -csv emits the matching rows as CSV on stdout.
+// per group are printed. -csv emits the matching rows as CSV on stdout;
+// -json emits the listing or the group counts as JSON instead of text.
+// Malformed -from/-to values are rejected with a parse error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
-	"strings"
-	"time"
 
 	"avfda"
-	"avfda/internal/frame"
+	"avfda/internal/query"
 )
 
 func main() {
@@ -39,149 +42,119 @@ func run() error {
 	tag := flag.String("tag", "", "filter: fault tag")
 	category := flag.String("category", "", "filter: failure category")
 	road := flag.String("road", "", "filter: road type")
+	weather := flag.String("weather", "", "filter: weather condition")
 	modality := flag.String("modality", "", "filter: disengagement modality")
 	from := flag.String("from", "", "filter: first month, YYYY-MM")
 	to := flag.String("to", "", "filter: last month, YYYY-MM")
 	by := flag.String("by", "", "group counts by this column instead of listing")
 	limit := flag.Int("limit", 20, "max rows to list")
 	csv := flag.Bool("csv", false, "emit matching rows as CSV")
+	jsonOut := flag.Bool("json", false, "emit the listing or group counts as JSON")
 	flag.Parse()
+
+	f := query.Filter{
+		Manufacturer: *mfr, Tag: *tag, Category: *category, Road: *road,
+		Weather: *weather, Modality: *modality, From: *from, To: *to,
+	}
+	// Reject malformed month bounds before paying for the study build.
+	if err := f.Validate(); err != nil {
+		return err
+	}
 
 	study, err := avfda.NewStudy(avfda.Options{Seed: *seed})
 	if err != nil {
 		return err
 	}
-	events, err := study.DB().EventsFrame()
+	eng, err := query.New(study.DB())
 	if err != nil {
 		return err
 	}
-	matched, err := applyFilters(events, filters{
-		mfr: *mfr, tag: *tag, category: *category, road: *road,
-		modality: *modality, from: *from, to: *to,
-	})
+	matched, err := eng.Count(f)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "matched %d of %d events\n", matched.NumRows(), events.NumRows())
+	fmt.Fprintf(os.Stderr, "matched %d of %d events\n", matched, eng.Len())
 
 	switch {
 	case *csv:
-		return matched.WriteCSV(os.Stdout)
-	case *by != "":
-		return printGroups(matched, *by)
-	default:
-		return printRows(matched, *limit)
-	}
-}
-
-// filters carries the parsed filter flags.
-type filters struct {
-	mfr, tag, category, road, modality, from, to string
-}
-
-// applyFilters narrows the events frame by every non-empty filter.
-func applyFilters(events *frame.Frame, f filters) (*frame.Frame, error) {
-	var fromT, toT time.Time
-	var err error
-	if f.from != "" {
-		if fromT, err = time.Parse("2006-01", f.from); err != nil {
-			return nil, fmt.Errorf("bad -from: %w", err)
-		}
-	}
-	if f.to != "" {
-		if toT, err = time.Parse("2006-01", f.to); err != nil {
-			return nil, fmt.Errorf("bad -to: %w", err)
-		}
-		toT = toT.AddDate(0, 1, 0) // inclusive month
-	}
-	eq := func(got, want string) bool {
-		return want == "" || strings.EqualFold(got, want)
-	}
-	return events.Filter(func(r frame.Row) bool {
-		if !eq(r.String("manufacturer"), f.mfr) ||
-			!eq(r.String("tag"), f.tag) ||
-			!eq(r.String("category"), f.category) ||
-			!eq(r.String("road"), f.road) ||
-			!eq(r.String("modality"), f.modality) {
-			return false
-		}
-		ts := r.Time("time")
-		if !fromT.IsZero() && ts.Before(fromT) {
-			return false
-		}
-		if !toT.IsZero() && !ts.Before(toT) {
-			return false
-		}
-		return true
-	}), nil
-}
-
-// printGroups prints per-group counts, descending.
-func printGroups(matched *frame.Frame, by string) error {
-	col := by
-	if by == "month" {
-		// Derive a month column from the timestamp.
-		times, err := matched.Times("time")
+		fr, err := eng.Frame(f)
 		if err != nil {
 			return err
 		}
-		months := make([]string, len(times))
-		for i, ts := range times {
-			months[i] = ts.Format("2006-01")
+		return fr.WriteCSV(os.Stdout)
+	case *by != "":
+		if *jsonOut {
+			return writeGroupsJSON(os.Stdout, eng, f, *by)
 		}
-		if err := matched.AddStrings("month", months); err != nil {
-			return err
+		return printGroups(os.Stdout, eng, f, *by)
+	default:
+		if *jsonOut {
+			return writeEventsJSON(os.Stdout, eng, f, *limit)
 		}
+		return printRows(os.Stdout, eng, f, *limit)
 	}
-	groups, err := matched.GroupBy(col)
+}
+
+// printGroups prints per-group counts, descending.
+func printGroups(w io.Writer, eng *query.Engine, f query.Filter, by string) error {
+	groups, err := eng.GroupCount(f, by)
 	if err != nil {
-		return fmt.Errorf("group by %q: %w", by, err)
+		return err
 	}
-	type row struct {
-		key string
-		n   int
-	}
-	rows := make([]row, 0, len(groups))
 	for _, g := range groups {
-		rows = append(rows, row{key: g.Key[0], n: g.Frame.NumRows()})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].n != rows[j].n {
-			return rows[i].n > rows[j].n
-		}
-		return rows[i].key < rows[j].key
-	})
-	for _, r := range rows {
-		fmt.Printf("%6d  %s\n", r.n, r.key)
+		fmt.Fprintf(w, "%6d  %s\n", g.Count, g.Key)
 	}
 	return nil
 }
 
-// printRows lists matched events, truncated.
-func printRows(matched *frame.Frame, limit int) error {
-	n := matched.NumRows()
-	show := matched.Head(limit)
-	times, err := show.Times("time")
+// printRows lists matched events, truncated to limit.
+func printRows(w io.Writer, eng *query.Engine, f query.Filter, limit int) error {
+	page, err := eng.Events(f, query.Page{Limit: limit})
 	if err != nil {
 		return err
 	}
-	for i := 0; i < show.NumRows(); i++ {
-		var mfr, tag, cause string
-		show.Filter(func(r frame.Row) bool {
-			if r.Index() == i {
-				mfr = r.String("manufacturer")
-				tag = r.String("tag")
-				cause = r.String("cause")
-			}
-			return false
-		})
+	for _, ev := range page.Events {
+		cause := ev.Cause
 		if len(cause) > 60 {
 			cause = cause[:57] + "..."
 		}
-		fmt.Printf("%s  %-14s %-24s %s\n", times[i].Format("2006-01-02"), mfr, tag, cause)
+		fmt.Fprintf(w, "%s  %-14s %-24s %s\n",
+			ev.Time.Format("2006-01-02"), ev.Manufacturer, ev.Tag, cause)
 	}
-	if n > limit {
-		fmt.Printf("... and %d more (raise -limit or use -csv)\n", n-limit)
+	if page.Total > limit {
+		fmt.Fprintf(w, "... and %d more (raise -limit or use -csv)\n", page.Total-limit)
 	}
 	return nil
+}
+
+// groupsJSON is the -json -by payload, matching the avserve groupby route.
+type groupsJSON struct {
+	By     string             `json:"by"`
+	Groups []query.GroupCount `json:"groups"`
+}
+
+// writeGroupsJSON emits the group counts as indented JSON.
+func writeGroupsJSON(w io.Writer, eng *query.Engine, f query.Filter, by string) error {
+	groups, err := eng.GroupCount(f, by)
+	if err != nil {
+		return err
+	}
+	return encodeJSON(w, groupsJSON{By: by, Groups: groups})
+}
+
+// writeEventsJSON emits one page of matching events as indented JSON.
+func writeEventsJSON(w io.Writer, eng *query.Engine, f query.Filter, limit int) error {
+	page, err := eng.Events(f, query.Page{Limit: limit})
+	if err != nil {
+		return err
+	}
+	return encodeJSON(w, page)
+}
+
+// encodeJSON writes v as indented JSON with a trailing newline.
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"strings"
 	"testing"
 	"time"
 
 	"avfda/internal/frame"
+	"avfda/internal/query"
 )
 
-func queryFixture(t *testing.T) *frame.Frame {
+func queryFixture(t *testing.T) *query.Engine {
 	t.Helper()
 	f := frame.New()
 	must := func(err error) {
@@ -26,59 +30,206 @@ func queryFixture(t *testing.T) *frame.Frame {
 		time.Date(2015, 6, 10, 0, 0, 0, 0, time.UTC),
 		time.Date(2016, 1, 10, 0, 0, 0, 0, time.UTC),
 	}))
-	return f
+	eng, err := query.NewFromFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
 }
 
-func TestApplyFiltersByField(t *testing.T) {
-	f := queryFixture(t)
-	out, err := applyFilters(f, filters{mfr: "waymo"})
+func TestFilterByField(t *testing.T) {
+	eng := queryFixture(t)
+	n, err := eng.Count(query.Filter{Manufacturer: "waymo"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.NumRows() != 2 {
-		t.Errorf("mfr filter rows = %d", out.NumRows())
+	if n != 2 {
+		t.Errorf("mfr filter rows = %d", n)
 	}
-	out, err = applyFilters(f, filters{tag: "Software", modality: "planned"})
+	n, err = eng.Count(query.Filter{Tag: "Software", Modality: "planned"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.NumRows() != 1 {
-		t.Errorf("combined filter rows = %d", out.NumRows())
+	if n != 1 {
+		t.Errorf("combined filter rows = %d", n)
 	}
 }
 
-func TestApplyFiltersByMonthRange(t *testing.T) {
-	f := queryFixture(t)
-	out, err := applyFilters(f, filters{from: "2015-04", to: "2015-12"})
+func TestFilterByMonthRange(t *testing.T) {
+	eng := queryFixture(t)
+	n, err := eng.Count(query.Filter{From: "2015-04", To: "2015-12"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.NumRows() != 1 {
-		t.Errorf("range rows = %d", out.NumRows())
+	if n != 1 {
+		t.Errorf("range rows = %d", n)
 	}
 	// Inclusive end month.
-	out, err = applyFilters(f, filters{from: "2015-03", to: "2015-03"})
+	n, err = eng.Count(query.Filter{From: "2015-03", To: "2015-03"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.NumRows() != 1 {
-		t.Errorf("single-month rows = %d", out.NumRows())
-	}
-	if _, err := applyFilters(f, filters{from: "bogus"}); err == nil {
-		t.Error("bad from: want error")
-	}
-	if _, err := applyFilters(f, filters{to: "bogus"}); err == nil {
-		t.Error("bad to: want error")
+	if n != 1 {
+		t.Errorf("single-month rows = %d", n)
 	}
 }
 
-func TestApplyFiltersEmptyMatchesAll(t *testing.T) {
-	f := queryFixture(t)
-	out, err := applyFilters(f, filters{})
+func TestMalformedMonthIsTypedError(t *testing.T) {
+	eng := queryFixture(t)
+	for _, f := range []query.Filter{{From: "bogus"}, {To: "2015-13-01"}} {
+		_, err := eng.Count(f)
+		if err == nil {
+			t.Fatalf("filter %+v: want error", f)
+		}
+		var me *query.MonthError
+		if !errors.As(err, &me) {
+			t.Fatalf("filter %+v: error %v is not a *query.MonthError", f, err)
+		}
+		if me.Field != "from" && me.Field != "to" {
+			t.Errorf("MonthError.Field = %q", me.Field)
+		}
+		if !strings.Contains(err.Error(), "YYYY-MM") {
+			t.Errorf("error %q does not name the expected format", err)
+		}
+	}
+}
+
+func TestFilterEmptyMatchesAll(t *testing.T) {
+	eng := queryFixture(t)
+	n, err := eng.Count(query.Filter{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.NumRows() != f.NumRows() {
-		t.Errorf("no-filter rows = %d", out.NumRows())
+	if n != eng.Len() {
+		t.Errorf("no-filter rows = %d", n)
+	}
+}
+
+// TestGoldenListOutput pins the text listing format: the refactor onto
+// internal/query must not change what existing flag combinations print.
+func TestGoldenListOutput(t *testing.T) {
+	eng := queryFixture(t)
+	var sb strings.Builder
+	if err := printRows(&sb, eng, query.Filter{}, 20); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"2015-03-10  Waymo          Software                 a\n" +
+		"2015-06-10  Waymo          Sensor                   b\n" +
+		"2016-01-10  Bosch          Software                 c\n"
+	if sb.String() != want {
+		t.Errorf("listing output:\n%q\nwant:\n%q", sb.String(), want)
+	}
+
+	sb.Reset()
+	if err := printRows(&sb, eng, query.Filter{}, 2); err != nil {
+		t.Fatal(err)
+	}
+	want = "" +
+		"2015-03-10  Waymo          Software                 a\n" +
+		"2015-06-10  Waymo          Sensor                   b\n" +
+		"... and 1 more (raise -limit or use -csv)\n"
+	if sb.String() != want {
+		t.Errorf("truncated listing:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestGoldenListTruncatesLongCauses(t *testing.T) {
+	f := frame.New()
+	long := strings.Repeat("x", 70)
+	if err := f.AddStrings("manufacturer", []string{"Waymo"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddStrings("tag", []string{"Software"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddStrings("cause", []string{long}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddTimes("time", []time.Time{time.Date(2015, 3, 10, 0, 0, 0, 0, time.UTC)}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := query.NewFromFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := printRows(&sb, eng, query.Filter{}, 20); err != nil {
+		t.Fatal(err)
+	}
+	want := "2015-03-10  Waymo          Software                 " +
+		strings.Repeat("x", 57) + "...\n"
+	if sb.String() != want {
+		t.Errorf("long-cause listing:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+// TestGoldenGroupOutput pins the group-count format and its descending
+// count / ascending key ordering.
+func TestGoldenGroupOutput(t *testing.T) {
+	eng := queryFixture(t)
+	var sb strings.Builder
+	if err := printGroups(&sb, eng, query.Filter{}, "tag"); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"     2  Software\n" +
+		"     1  Sensor\n"
+	if sb.String() != want {
+		t.Errorf("group output:\n%q\nwant:\n%q", sb.String(), want)
+	}
+
+	sb.Reset()
+	if err := printGroups(&sb, eng, query.Filter{}, "month"); err != nil {
+		t.Fatal(err)
+	}
+	want = "" +
+		"     1  2015-03\n" +
+		"     1  2015-06\n" +
+		"     1  2016-01\n"
+	if sb.String() != want {
+		t.Errorf("month group output:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestGroupUnknownColumn(t *testing.T) {
+	eng := queryFixture(t)
+	var sb strings.Builder
+	err := printGroups(&sb, eng, query.Filter{}, "bogus")
+	if err == nil || !strings.Contains(err.Error(), `group by "bogus"`) {
+		t.Errorf("unknown column error = %v", err)
+	}
+}
+
+func TestJSONOutputs(t *testing.T) {
+	eng := queryFixture(t)
+	var sb strings.Builder
+	if err := writeEventsJSON(&sb, eng, query.Filter{Manufacturer: "Waymo"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	var page query.EventPage
+	if err := json.Unmarshal([]byte(sb.String()), &page); err != nil {
+		t.Fatalf("decode events JSON: %v", err)
+	}
+	if page.Total != 2 || len(page.Events) != 1 {
+		t.Errorf("events JSON total=%d len=%d, want 2, 1", page.Total, len(page.Events))
+	}
+	if page.Events[0].Cause != "a" {
+		t.Errorf("first event cause = %q", page.Events[0].Cause)
+	}
+
+	sb.Reset()
+	if err := writeGroupsJSON(&sb, eng, query.Filter{}, "manufacturer"); err != nil {
+		t.Fatal(err)
+	}
+	var groups groupsJSON
+	if err := json.Unmarshal([]byte(sb.String()), &groups); err != nil {
+		t.Fatalf("decode groups JSON: %v", err)
+	}
+	if groups.By != "manufacturer" || len(groups.Groups) != 2 {
+		t.Errorf("groups JSON = %+v", groups)
+	}
+	if groups.Groups[0].Key != "Waymo" || groups.Groups[0].Count != 2 {
+		t.Errorf("top group = %+v", groups.Groups[0])
 	}
 }

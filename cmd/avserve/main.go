@@ -1,0 +1,118 @@
+// Command avserve serves the consolidated failure database over HTTP: a
+// long-running JSON API on top of the Stage I-IV pipeline, with a
+// seed-keyed LRU study cache (singleflight-guarded), per-request
+// deadlines, Prometheus-style metrics at /metrics, and graceful shutdown
+// on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	avserve [-addr :8080] [-cache 4] [-workers 0]
+//	        [-request-timeout 60s] [-read-timeout 10s] [-write-timeout 90s]
+//	        [-shutdown-timeout 10s]
+//
+// The first request for a seed builds that study (seconds of CPU); the
+// build is shared by every concurrent request for the seed and cached for
+// later ones. See the route list in internal/serve.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"avfda/internal/pipeline"
+	"avfda/internal/query"
+	"avfda/internal/serve"
+	"avfda/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "avserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until a termination signal arrives.
+func run(args []string) error {
+	fs := flag.NewFlagSet("avserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache", 4, "max resident studies in the LRU cache")
+	workers := fs.Int("workers", 0, "worker pool size for pipeline stages (0 = all cores)")
+	requestTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request deadline, study builds included")
+	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
+	writeTimeout := fs.Duration("write-timeout", 90*time.Second, "HTTP server write timeout (must exceed a cold study build)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	server, err := serve.New(serve.Config{
+		Build:          studyBuilder(*workers),
+		CacheSize:      *cacheSize,
+		RequestTimeout: *requestTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpServer := &http.Server{
+		Addr:         *addr,
+		Handler:      server,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "avserve: listening on %s (cache=%d workers=%d)\n",
+			*addr, *cacheSize, *workers)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "avserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// studyBuilder runs the full calibrated pipeline for a seed, threading the
+// worker count into the concurrent stages, and wraps the result in a
+// query engine.
+func studyBuilder(workers int) serve.BuildFunc {
+	return func(seed int64) (*serve.Study, error) {
+		cfg := pipeline.DefaultConfig()
+		cfg.Synth = synth.Config{Seed: seed}
+		cfg.OCR.Seed = seed
+		cfg.Workers = workers
+		res, err := pipeline.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		engine, err := query.New(res.DB)
+		if err != nil {
+			return nil, err
+		}
+		return &serve.Study{DB: res.DB, Engine: engine}, nil
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"avfda/internal/query"
+	"avfda/internal/serve"
+)
+
+// TestServeCalibratedStudy is the end-to-end acceptance check: a server
+// wired with the real pipeline builder serves seed 1 over HTTP, the first
+// request builds the study, the second hits the cache, /metrics reports
+// the traffic, and the indexed query path agrees with a full scan on the
+// calibrated corpus.
+func TestServeCalibratedStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build in -short mode")
+	}
+	server, err := serve.New(serve.Config{
+		Build:          studyBuilder(0),
+		CacheSize:      2,
+		RequestTimeout: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string) {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		server.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+
+	// First request builds the study.
+	code, body := get("/v1/studies/1/disengagements?mfr=Waymo&limit=5")
+	if code != http.StatusOK {
+		t.Fatalf("first request = %d (%s)", code, strings.TrimSpace(body))
+	}
+	var page query.EventPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total == 0 || len(page.Events) != 5 {
+		t.Fatalf("calibrated Waymo page = total %d, events %d", page.Total, len(page.Events))
+	}
+	for _, ev := range page.Events {
+		if ev.Manufacturer != "Waymo" {
+			t.Errorf("filter leak: %+v", ev)
+		}
+	}
+
+	// Second request is a cache hit: no second build.
+	if code, _ = get("/v1/studies/1/groupby?by=category"); code != http.StatusOK {
+		t.Fatalf("groupby = %d", code)
+	}
+	stats := server.CacheStats()
+	if stats.Builds != 1 || stats.Hits < 1 {
+		t.Errorf("cache stats = %+v, want one build and at least one hit", stats)
+	}
+
+	if code, body = get("/v1/studies/1/metrics/reliability"); code != http.StatusOK {
+		t.Fatalf("reliability = %d (%s)", code, body)
+	}
+	var rel serve.ReliabilityResponse
+	if err := json.Unmarshal([]byte(body), &rel); err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Manufacturers) == 0 {
+		t.Error("no reliability rows for the calibrated corpus")
+	}
+
+	if code, body = get("/v1/studies/1/tables/vii"); code != http.StatusOK || !strings.Contains(body, "Table VII") {
+		t.Errorf("tables/vii = %d (%.80s)", code, body)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"avserve_cache_builds_total 1",
+		"avserve_cache_hits_total",
+		"avserve_request_duration_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestIndexedEqualsScanOnCalibratedCorpus pins the acceptance criterion
+// that indexed queries return identical results to a full scan on the real
+// study data, not just synthetic fixtures.
+func TestIndexedEqualsScanOnCalibratedCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build in -short mode")
+	}
+	study, err := studyBuilder(0)(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := study.Engine
+	for _, f := range []query.Filter{
+		{},
+		{Manufacturer: "Waymo"},
+		{Manufacturer: "waymo", Tag: "Recognition System"},
+		{Category: "ML/Design", From: "2015-01", To: "2015-12"},
+		{Tag: "Software", Modality: "manual"},
+		{Manufacturer: "Bosch", Road: "highway"},
+	} {
+		indexed, err := eng.Select(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, err := eng.SelectScan(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(indexed, scanned) {
+			t.Errorf("filter %+v: indexed %d rows != scanned %d rows", f, len(indexed), len(scanned))
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("want flag parse error")
+	}
+}

@@ -177,6 +177,60 @@ func (db *DB) EventsFrame() (*frame.Frame, error) {
 	return f, nil
 }
 
+// AccidentsFrame exports the accident reports as a typed dataframe for
+// ad-hoc analysis and CSV export. Boolean fields (autonomous mode,
+// redaction) are exported as 0/1 int columns.
+func (db *DB) AccidentsFrame() (*frame.Frame, error) {
+	n := len(db.Accidents)
+	mfr := make([]string, n)
+	vehicle := make([]string, n)
+	year := make([]string, n)
+	ts := make([]time.Time, n)
+	location := make([]string, n)
+	narrative := make([]string, n)
+	avSpeed := make([]float64, n)
+	otherSpeed := make([]float64, n)
+	autonomous := make([]int64, n)
+	redacted := make([]int64, n)
+	for i, a := range db.Accidents {
+		mfr[i] = string(a.Manufacturer)
+		vehicle[i] = string(a.Vehicle)
+		year[i] = a.ReportYear.String()
+		ts[i] = a.Time
+		location[i] = a.Location
+		narrative[i] = a.Narrative
+		avSpeed[i] = a.AVSpeedMPH
+		otherSpeed[i] = a.OtherSpeedMPH
+		if a.InAutonomousMode {
+			autonomous[i] = 1
+		}
+		if a.Redacted {
+			redacted[i] = 1
+		}
+	}
+	f := frame.New()
+	for _, step := range []struct {
+		name string
+		add  func() error
+	}{
+		{"manufacturer", func() error { return f.AddStrings("manufacturer", mfr) }},
+		{"vehicle", func() error { return f.AddStrings("vehicle", vehicle) }},
+		{"reportYear", func() error { return f.AddStrings("reportYear", year) }},
+		{"time", func() error { return f.AddTimes("time", ts) }},
+		{"location", func() error { return f.AddStrings("location", location) }},
+		{"narrative", func() error { return f.AddStrings("narrative", narrative) }},
+		{"avSpeedMPH", func() error { return f.AddFloats("avSpeedMPH", avSpeed) }},
+		{"otherSpeedMPH", func() error { return f.AddFloats("otherSpeedMPH", otherSpeed) }},
+		{"inAutonomousMode", func() error { return f.AddInts("inAutonomousMode", autonomous) }},
+		{"redacted", func() error { return f.AddInts("redacted", redacted) }},
+	} {
+		if err := step.add(); err != nil {
+			return nil, fmt.Errorf("core: accidents frame column %s: %w", step.name, err)
+		}
+	}
+	return f, nil
+}
+
 // MileageFrame exports the monthly mileage records as a dataframe.
 func (db *DB) MileageFrame() (*frame.Frame, error) {
 	n := len(db.Mileage)

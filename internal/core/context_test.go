@@ -238,3 +238,67 @@ func TestEmptyDBAnalysesDegradeGracefully(t *testing.T) {
 		t.Errorf("empty events frame: %v", err)
 	}
 }
+
+func TestAccidentsFrame(t *testing.T) {
+	db := truthDB(t)
+	f, err := db.AccidentsFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != len(db.Accidents) {
+		t.Fatalf("frame rows %d, accidents %d", f.NumRows(), len(db.Accidents))
+	}
+	if f.NumCols() != 10 {
+		t.Errorf("frame cols = %d, want 10", f.NumCols())
+	}
+
+	// Flags are encoded 0/1 and agree with the structs row by row.
+	auto, err := f.Ints("inAutonomousMode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	redacted, err := f.Ints("redacted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfr, err := f.StringsCol("manufacturer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range db.Accidents {
+		if want := boolInt(a.InAutonomousMode); auto[i] != want {
+			t.Fatalf("row %d: inAutonomousMode = %d, want %d", i, auto[i], want)
+		}
+		if want := boolInt(a.Redacted); redacted[i] != want {
+			t.Fatalf("row %d: redacted = %d, want %d", i, redacted[i], want)
+		}
+		if mfr[i] != string(a.Manufacturer) {
+			t.Fatalf("row %d: manufacturer %q vs %q", i, mfr[i], a.Manufacturer)
+		}
+	}
+
+	// The frame round-trips through CSV like the other exports.
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty CSV")
+	}
+
+	// An empty database still yields the full schema.
+	ef, err := (&DB{}).AccidentsFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ef.NumRows() != 0 || ef.NumCols() != 10 {
+		t.Errorf("empty frame shape = %dx%d", ef.NumRows(), ef.NumCols())
+	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

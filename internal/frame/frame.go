@@ -302,6 +302,20 @@ func (f *Frame) Filter(keep func(r Row) bool) *Frame {
 	return f.takeRows(idx)
 }
 
+// Take returns a copy of the frame restricted to the given rows, in the
+// given order. Indexes may repeat; each must be in [0, NumRows). This is
+// the public row-projection used by index-backed query layers that compute
+// row ids outside the frame.
+func (f *Frame) Take(idx []int) (*Frame, error) {
+	n := f.NumRows()
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("frame: take index %d out of range [0,%d)", i, n)
+		}
+	}
+	return f.takeRows(idx), nil
+}
+
 // takeRows copies the frame restricted to rows idx.
 func (f *Frame) takeRows(idx []int) *Frame {
 	out := New()

@@ -413,3 +413,53 @@ func TestSortByPermutationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTake(t *testing.T) {
+	f := demo(t)
+	out, err := f.Take([]int{4, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 3 || out.NumCols() != f.NumCols() {
+		t.Fatalf("shape = %dx%d", out.NumRows(), out.NumCols())
+	}
+	mfr, err := out.StringsCol("mfr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Bosch", "Waymo", "Waymo"}
+	for i := range want {
+		if mfr[i] != want[i] {
+			t.Fatalf("mfr = %v, want %v", mfr, want)
+		}
+	}
+	miles, err := out.Floats("miles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miles[0] != 10 || miles[1] != 100 || miles[2] != 100 {
+		t.Errorf("miles = %v", miles)
+	}
+
+	// Take copies: mutating the projection leaves the source intact.
+	miles[0] = -1
+	orig, _ := f.Floats("miles")
+	if orig[4] != 10 {
+		t.Errorf("Take aliased the source column: %v", orig)
+	}
+
+	// Empty selection keeps the schema with zero rows.
+	empty, err := f.Take(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumRows() != 0 || empty.NumCols() != f.NumCols() {
+		t.Errorf("empty take shape = %dx%d", empty.NumRows(), empty.NumCols())
+	}
+
+	for _, bad := range [][]int{{-1}, {5}, {0, 99}} {
+		if _, err := f.Take(bad); err == nil {
+			t.Errorf("Take(%v): want out-of-range error", bad)
+		}
+	}
+}

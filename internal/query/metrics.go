@@ -1,0 +1,97 @@
+package query
+
+import (
+	"errors"
+
+	"avfda/internal/core"
+	"avfda/internal/schema"
+)
+
+// ReliabilityMetric is one manufacturer's reliability summary for the
+// serving layer: fleet exposure plus the paper's DPM/DPA/APM chain
+// (Tables VI-VII). Fields that the data cannot support (no accidents, no
+// per-car mileage) are negative, matching the core package's convention
+// for the paper's dashes.
+type ReliabilityMetric struct {
+	Manufacturer string  `json:"manufacturer"`
+	Miles        float64 `json:"miles"`
+	Events       int     `json:"disengagements"`
+	Accidents    int     `json:"accidents"`
+	// DPM is the fleet-level disengagements-per-mile rate (Events/Miles);
+	// negative when no miles were reported.
+	DPM float64 `json:"dpm"`
+	// MedianDPM is the Table VII median per-car DPM; negative when no
+	// vehicle-attributed mileage exists.
+	MedianDPM float64 `json:"medianDPM"`
+	// DPA is disengagements per accident (Table VI); negative without
+	// accidents or without disengagements.
+	DPA float64 `json:"dpa"`
+	// MedianAPM is the Table VII accidents-per-mile estimate
+	// (MedianDPM/DPA); negative when either input is absent.
+	MedianAPM float64 `json:"medianAPM"`
+	// RelToHuman is MedianAPM relative to the human-driver accident rate;
+	// negative when MedianAPM is absent.
+	RelToHuman float64 `json:"relToHuman"`
+}
+
+// Reliability computes the per-manufacturer reliability metrics for every
+// manufacturer present in the database, in the paper's canonical order.
+func Reliability(db *core.DB) ([]ReliabilityMetric, error) {
+	if db == nil {
+		return nil, errors.New("query: nil database")
+	}
+	miles := db.MilesBy()
+	events := db.EventsBy()
+	accidents := make(map[schema.Manufacturer]int)
+	for _, a := range db.Accidents {
+		accidents[a.Manufacturer]++
+	}
+	dpaBy := make(map[schema.Manufacturer]float64)
+	for _, r := range db.AccidentSummary() {
+		dpaBy[r.Manufacturer] = r.DPA
+	}
+	rel, err := db.ReliabilityVsHuman()
+	if err != nil {
+		return nil, err
+	}
+	relBy := make(map[schema.Manufacturer]core.ReliabilityRow, len(rel))
+	for _, r := range rel {
+		relBy[r.Manufacturer] = r
+	}
+	var out []ReliabilityMetric
+	for _, m := range db.Manufacturers() {
+		row := ReliabilityMetric{
+			Manufacturer: string(m),
+			Miles:        miles[m],
+			Events:       events[m],
+			Accidents:    accidents[m],
+			DPM:          -1,
+			MedianDPM:    -1,
+			DPA:          -1,
+			MedianAPM:    -1,
+			RelToHuman:   -1,
+		}
+		if row.Miles > 0 {
+			row.DPM = float64(row.Events) / row.Miles
+		}
+		if dpa, ok := dpaBy[m]; ok {
+			row.DPA = dpa
+		}
+		if r, ok := relBy[m]; ok {
+			row.MedianDPM = r.MedianDPM
+			row.MedianAPM = r.MedianAPM
+			row.RelToHuman = r.RelToHuman
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Reliability reports the engine's per-manufacturer reliability metrics.
+// It requires a database-backed engine (built with New, not NewFromFrame).
+func (e *Engine) Reliability() ([]ReliabilityMetric, error) {
+	if e.db == nil {
+		return nil, errors.New("query: engine has no database (built from a bare frame)")
+	}
+	return Reliability(e.db)
+}

@@ -1,0 +1,479 @@
+// Package query is a reusable, typed query engine over the consolidated
+// failure database (system #18 in DESIGN.md §2).
+//
+// The paper's end product is a failure database that analysts interrogate
+// (Tables IV-VIII, Figs 4-12). This package extracts the ad-hoc filter and
+// group-by logic that used to live inside cmd/avquery into a composable
+// engine shared by the CLI and the HTTP serving layer (internal/serve):
+// typed predicates (manufacturer, tag, category, road, weather, modality,
+// month range), group-by counts, per-manufacturer reliability metrics, and
+// pagination.
+//
+// An Engine is built once per study and is immutable afterwards, so it is
+// safe for concurrent use. Construction precomputes inverted indexes
+// (manufacturer/tag/category value → row ids) so equality-filtered queries
+// walk only the smallest matching posting list instead of scanning every
+// row; SelectScan is the full-scan reference implementation the tests hold
+// the indexed path equal to.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"avfda/internal/core"
+	"avfda/internal/frame"
+)
+
+// Filter is one conjunctive query over the failure database: every
+// non-empty field must match (string matches are case-insensitive).
+type Filter struct {
+	// Manufacturer, Tag, and Category are indexed equality predicates.
+	Manufacturer string
+	Tag          string
+	Category     string
+	// Road, Weather, and Modality are scan-verified equality predicates.
+	Road     string
+	Weather  string
+	Modality string
+	// From and To bound the event month, inclusive on both ends, in
+	// "YYYY-MM" form. Empty means unbounded. Malformed values produce a
+	// *MonthError.
+	From string
+	To   string
+}
+
+// MonthError reports a malformed From/To month bound.
+type MonthError struct {
+	// Field is "from" or "to".
+	Field string
+	// Value is the rejected input.
+	Value string
+	// Err is the underlying time.Parse error.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *MonthError) Error() string {
+	return fmt.Sprintf("bad -%s value %q: want YYYY-MM", e.Field, e.Value)
+}
+
+// Unwrap exposes the underlying parse error.
+func (e *MonthError) Unwrap() error { return e.Err }
+
+// ParseMonthRange parses inclusive "YYYY-MM" month bounds into a concrete
+// [start, endExcl) time window. Empty strings leave the corresponding side
+// unbounded (zero time); malformed values produce a *MonthError.
+func ParseMonthRange(from, to string) (start, endExcl time.Time, err error) {
+	if from != "" {
+		start, err = time.Parse("2006-01", from)
+		if err != nil {
+			return time.Time{}, time.Time{}, &MonthError{Field: "from", Value: from, Err: err}
+		}
+	}
+	if to != "" {
+		endExcl, err = time.Parse("2006-01", to)
+		if err != nil {
+			return time.Time{}, time.Time{}, &MonthError{Field: "to", Value: to, Err: err}
+		}
+		endExcl = endExcl.AddDate(0, 1, 0) // inclusive end month
+	}
+	return start, endExcl, nil
+}
+
+// monthRange parses the filter's month bounds. The returned to is
+// exclusive (first month after the To month); zero times mean unbounded.
+func (f Filter) monthRange() (from, to time.Time, err error) {
+	return ParseMonthRange(f.From, f.To)
+}
+
+// Validate checks the filter's month bounds without running a query.
+func (f Filter) Validate() error {
+	_, _, err := f.monthRange()
+	return err
+}
+
+// Event is one disengagement in JSON-friendly form.
+type Event struct {
+	Manufacturer    string    `json:"manufacturer"`
+	Vehicle         string    `json:"vehicle,omitempty"`
+	ReportYear      string    `json:"reportYear,omitempty"`
+	Time            time.Time `json:"time"`
+	Cause           string    `json:"cause"`
+	Tag             string    `json:"tag"`
+	Category        string    `json:"category"`
+	Modality        string    `json:"modality"`
+	Road            string    `json:"road,omitempty"`
+	Weather         string    `json:"weather,omitempty"`
+	ReactionSeconds float64   `json:"reactionSeconds"`
+}
+
+// Page bounds a result listing. Offset rows are skipped (negative offsets
+// are treated as 0); Limit caps the returned rows, with <= 0 meaning
+// unlimited.
+type Page struct {
+	Offset int
+	Limit  int
+}
+
+// EventPage is one page of matching events plus the match total.
+type EventPage struct {
+	Total  int     `json:"total"`
+	Offset int     `json:"offset"`
+	Limit  int     `json:"limit"`
+	Events []Event `json:"events"`
+}
+
+// GroupCount is one group-by bucket.
+type GroupCount struct {
+	Key   string `json:"key"`
+	Count int    `json:"count"`
+}
+
+// Engine answers queries over one study's failure database. Build it once
+// with New (or NewFromFrame) and share it freely: all methods are
+// read-only and safe for concurrent use.
+type Engine struct {
+	f  *frame.Frame
+	db *core.DB // nil when built from a bare frame
+
+	n        int
+	mfr      []string
+	tag      []string
+	category []string
+	road     []string
+	weather  []string
+	modality []string
+	vehicle  []string
+	year     []string
+	cause    []string
+	reaction []float64
+	times    []time.Time
+
+	// Inverted indexes: lower-cased column value → ascending row ids.
+	byMfr      map[string][]int
+	byTag      map[string][]int
+	byCategory map[string][]int
+}
+
+// New builds an engine over the database's events (via EventsFrame).
+func New(db *core.DB) (*Engine, error) {
+	if db == nil {
+		return nil, errors.New("query: nil database")
+	}
+	f, err := db.EventsFrame()
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	e, err := NewFromFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	e.db = db
+	return e, nil
+}
+
+// NewFromFrame builds an engine over an events dataframe (the EventsFrame
+// column layout). Missing columns are treated as all-zero, so partial
+// frames — tests, external CSV loads — still query; database-backed
+// analyses (Reliability) require New.
+func NewFromFrame(f *frame.Frame) (*Engine, error) {
+	if f == nil {
+		return nil, errors.New("query: nil frame")
+	}
+	n := f.NumRows()
+	e := &Engine{
+		f:        f,
+		n:        n,
+		mfr:      stringColOrEmpty(f, "manufacturer", n),
+		tag:      stringColOrEmpty(f, "tag", n),
+		category: stringColOrEmpty(f, "category", n),
+		road:     stringColOrEmpty(f, "road", n),
+		weather:  stringColOrEmpty(f, "weather", n),
+		modality: stringColOrEmpty(f, "modality", n),
+		vehicle:  stringColOrEmpty(f, "vehicle", n),
+		year:     stringColOrEmpty(f, "reportYear", n),
+		cause:    stringColOrEmpty(f, "cause", n),
+		reaction: floatColOrZero(f, "reactionSeconds", n),
+		times:    timeColOrZero(f, "time", n),
+	}
+	e.byMfr = buildIndex(e.mfr)
+	e.byTag = buildIndex(e.tag)
+	e.byCategory = buildIndex(e.category)
+	return e, nil
+}
+
+// stringColOrEmpty copies the named string column, or zero-fills.
+func stringColOrEmpty(f *frame.Frame, name string, n int) []string {
+	if data, err := f.StringsCol(name); err == nil {
+		return data
+	}
+	return make([]string, n)
+}
+
+// floatColOrZero copies the named float column, or zero-fills.
+func floatColOrZero(f *frame.Frame, name string, n int) []float64 {
+	if data, err := f.Floats(name); err == nil {
+		return data
+	}
+	return make([]float64, n)
+}
+
+// timeColOrZero copies the named time column, or zero-fills.
+func timeColOrZero(f *frame.Frame, name string, n int) []time.Time {
+	if data, err := f.Times(name); err == nil {
+		return data
+	}
+	return make([]time.Time, n)
+}
+
+// buildIndex maps each distinct lower-cased value to its ascending row ids.
+func buildIndex(col []string) map[string][]int {
+	idx := make(map[string][]int)
+	for i, v := range col {
+		k := strings.ToLower(v)
+		idx[k] = append(idx[k], i)
+	}
+	return idx
+}
+
+// Len returns the total number of events in the engine.
+func (e *Engine) Len() int { return e.n }
+
+// DB returns the backing failure database, or nil for frame-only engines.
+func (e *Engine) DB() *core.DB { return e.db }
+
+// eqFold reports whether got matches the predicate want ("" matches all).
+func eqFold(got, want string) bool {
+	return want == "" || strings.EqualFold(got, want)
+}
+
+// matches verifies every predicate of f against row i. from/toExcl are the
+// pre-parsed month bounds.
+func (e *Engine) matches(i int, f Filter, from, toExcl time.Time) bool {
+	if !eqFold(e.mfr[i], f.Manufacturer) ||
+		!eqFold(e.tag[i], f.Tag) ||
+		!eqFold(e.category[i], f.Category) ||
+		!eqFold(e.road[i], f.Road) ||
+		!eqFold(e.weather[i], f.Weather) ||
+		!eqFold(e.modality[i], f.Modality) {
+		return false
+	}
+	ts := e.times[i]
+	if !from.IsZero() && ts.Before(from) {
+		return false
+	}
+	if !toExcl.IsZero() && !ts.Before(toExcl) {
+		return false
+	}
+	return true
+}
+
+// Select returns the ascending row ids matching the filter. When an indexed
+// predicate (manufacturer, tag, category) is present, only the smallest
+// matching posting list is walked; remaining predicates are verified per
+// candidate. Results are identical to SelectScan by construction.
+func (e *Engine) Select(f Filter) ([]int, error) {
+	from, toExcl, err := f.monthRange()
+	if err != nil {
+		return nil, err
+	}
+	candidates := e.candidates(f)
+	if candidates == nil {
+		return e.scan(f, from, toExcl), nil
+	}
+	out := make([]int, 0, len(candidates))
+	for _, i := range candidates {
+		if e.matches(i, f, from, toExcl) {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// candidates returns the smallest posting list among the filter's indexed
+// predicates, or nil when none is set (forcing a scan). A set predicate
+// with no posting list returns an empty, non-nil list: nothing matches.
+func (e *Engine) candidates(f Filter) []int {
+	var best []int
+	found := false
+	consider := func(idx map[string][]int, want string) {
+		if want == "" {
+			return
+		}
+		list := idx[strings.ToLower(want)]
+		if !found || len(list) < len(best) {
+			best, found = list, true
+		}
+	}
+	consider(e.byMfr, f.Manufacturer)
+	consider(e.byTag, f.Tag)
+	consider(e.byCategory, f.Category)
+	if !found {
+		return nil
+	}
+	if best == nil {
+		best = []int{}
+	}
+	return best
+}
+
+// scan is the sequential match loop over every row.
+func (e *Engine) scan(f Filter, from, toExcl time.Time) []int {
+	out := make([]int, 0, e.n)
+	for i := 0; i < e.n; i++ {
+		if e.matches(i, f, from, toExcl) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectScan returns the matching row ids by scanning every row, ignoring
+// the inverted indexes. It is the reference implementation that Select is
+// tested against; production callers should use Select.
+func (e *Engine) SelectScan(f Filter) ([]int, error) {
+	from, toExcl, err := f.monthRange()
+	if err != nil {
+		return nil, err
+	}
+	return e.scan(f, from, toExcl), nil
+}
+
+// Count returns the number of events matching the filter.
+func (e *Engine) Count(f Filter) (int, error) {
+	ids, err := e.Select(f)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// event materializes row i.
+func (e *Engine) event(i int) Event {
+	return Event{
+		Manufacturer:    e.mfr[i],
+		Vehicle:         e.vehicle[i],
+		ReportYear:      e.year[i],
+		Time:            e.times[i],
+		Cause:           e.cause[i],
+		Tag:             e.tag[i],
+		Category:        e.category[i],
+		Modality:        e.modality[i],
+		Road:            e.road[i],
+		Weather:         e.weather[i],
+		ReactionSeconds: e.reaction[i],
+	}
+}
+
+// Events returns one page of matching events plus the match total. An
+// offset at or past the total yields an empty (non-nil) page.
+func (e *Engine) Events(f Filter, p Page) (EventPage, error) {
+	ids, err := e.Select(f)
+	if err != nil {
+		return EventPage{}, err
+	}
+	if p.Offset < 0 {
+		p.Offset = 0
+	}
+	page := EventPage{Total: len(ids), Offset: p.Offset, Limit: p.Limit}
+	start := p.Offset
+	if start > len(ids) {
+		start = len(ids)
+	}
+	end := len(ids)
+	if p.Limit > 0 && start+p.Limit < end {
+		end = start + p.Limit
+	}
+	page.Events = make([]Event, 0, end-start)
+	for _, i := range ids[start:end] {
+		page.Events = append(page.Events, e.event(i))
+	}
+	return page, nil
+}
+
+// Frame returns the matching rows as a dataframe (for CSV export and
+// frame-level post-processing).
+func (e *Engine) Frame(f Filter) (*frame.Frame, error) {
+	ids, err := e.Select(f)
+	if err != nil {
+		return nil, err
+	}
+	return e.f.Take(ids)
+}
+
+// GroupColumns lists the group-by columns the engine answers from its
+// typed column cache. Other columns fall back to the dataframe layer.
+func GroupColumns() []string {
+	return []string{"manufacturer", "tag", "category", "road", "weather", "modality", "month"}
+}
+
+// GroupCount counts matching events per value of the named column, most
+// frequent first (ties broken by key). "month" groups by the event's
+// "YYYY-MM"; any other column present in the underlying frame (e.g.
+// "cause") is grouped through the dataframe layer.
+func (e *Engine) GroupCount(f Filter, by string) ([]GroupCount, error) {
+	ids, err := e.Select(f)
+	if err != nil {
+		return nil, err
+	}
+	var key func(i int) string
+	switch by {
+	case "manufacturer":
+		key = func(i int) string { return e.mfr[i] }
+	case "tag":
+		key = func(i int) string { return e.tag[i] }
+	case "category":
+		key = func(i int) string { return e.category[i] }
+	case "road":
+		key = func(i int) string { return e.road[i] }
+	case "weather":
+		key = func(i int) string { return e.weather[i] }
+	case "modality":
+		key = func(i int) string { return e.modality[i] }
+	case "month":
+		key = func(i int) string { return e.times[i].Format("2006-01") }
+	default:
+		return e.groupCountFrame(ids, by)
+	}
+	counts := make(map[string]int)
+	for _, i := range ids {
+		counts[key(i)]++
+	}
+	return sortedGroups(counts), nil
+}
+
+// groupCountFrame groups arbitrary frame columns via frame.GroupBy.
+func (e *Engine) groupCountFrame(ids []int, by string) ([]GroupCount, error) {
+	sub, err := e.f.Take(ids)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := sub.GroupBy(by)
+	if err != nil {
+		return nil, fmt.Errorf("group by %q: %w", by, err)
+	}
+	counts := make(map[string]int, len(groups))
+	for _, g := range groups {
+		counts[g.Key[0]] = g.Frame.NumRows()
+	}
+	return sortedGroups(counts), nil
+}
+
+// sortedGroups orders buckets by descending count, then ascending key.
+func sortedGroups(counts map[string]int) []GroupCount {
+	out := make([]GroupCount, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, GroupCount{Key: k, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

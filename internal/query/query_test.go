@@ -1,0 +1,367 @@
+package query
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"avfda/internal/frame"
+)
+
+// fixtureEngine builds a small five-row engine with known values.
+func fixtureEngine(t *testing.T) *Engine {
+	t.Helper()
+	f := frame.New()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(f.AddStrings("manufacturer", []string{"Waymo", "Waymo", "Bosch", "Delphi", "Waymo"}))
+	must(f.AddStrings("tag", []string{"Software", "Sensor", "Software", "Planner", "Software"}))
+	must(f.AddStrings("category", []string{"System", "System", "System", "ML/Design", "System"}))
+	must(f.AddStrings("road", []string{"highway", "city street", "highway", "", "highway"}))
+	must(f.AddStrings("weather", []string{"sunny", "rain", "", "sunny", "fog"}))
+	must(f.AddStrings("modality", []string{"Manual", "Automatic", "Planned", "Manual", "Manual"}))
+	must(f.AddStrings("cause", []string{"a", "b", "c", "d", "e"}))
+	must(f.AddTimes("time", []time.Time{
+		time.Date(2015, 3, 10, 0, 0, 0, 0, time.UTC),
+		time.Date(2015, 6, 10, 0, 0, 0, 0, time.UTC),
+		time.Date(2016, 1, 10, 0, 0, 0, 0, time.UTC),
+		time.Date(2016, 5, 2, 0, 0, 0, 0, time.UTC),
+		time.Date(2016, 11, 30, 0, 0, 0, 0, time.UTC),
+	}))
+	eng, err := NewFromFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestPredicates(t *testing.T) {
+	eng := fixtureEngine(t)
+	tests := []struct {
+		name   string
+		filter Filter
+		want   []int
+	}{
+		{"empty matches all", Filter{}, []int{0, 1, 2, 3, 4}},
+		{"manufacturer", Filter{Manufacturer: "Waymo"}, []int{0, 1, 4}},
+		{"manufacturer case-insensitive", Filter{Manufacturer: "wAYmo"}, []int{0, 1, 4}},
+		{"tag", Filter{Tag: "Software"}, []int{0, 2, 4}},
+		{"category", Filter{Category: "ml/design"}, []int{3}},
+		{"road", Filter{Road: "highway"}, []int{0, 2, 4}},
+		{"weather", Filter{Weather: "sunny"}, []int{0, 3}},
+		{"modality", Filter{Modality: "manual"}, []int{0, 3, 4}},
+		{"from only", Filter{From: "2016-01"}, []int{2, 3, 4}},
+		{"to only", Filter{To: "2015-12"}, []int{0, 1}},
+		{"from==to single month", Filter{From: "2015-06", To: "2015-06"}, []int{1}},
+		{"inverted range", Filter{From: "2016-06", To: "2015-01"}, []int{}},
+		{"conjunction", Filter{Manufacturer: "Waymo", Tag: "Software", Road: "highway"}, []int{0, 4}},
+		{"conjunction with range", Filter{Tag: "Software", From: "2016-01"}, []int{2, 4}},
+		{"unknown manufacturer", Filter{Manufacturer: "DeLorean"}, []int{}},
+		{"unknown tag", Filter{Tag: "Flux Capacitor"}, []int{}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := eng.Select(tc.filter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Select(%+v) = %v, want %v", tc.filter, got, tc.want)
+			}
+			scan, err := eng.SelectScan(tc.filter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(scan, tc.want) {
+				t.Errorf("SelectScan(%+v) = %v, want %v", tc.filter, scan, tc.want)
+			}
+		})
+	}
+}
+
+func TestMonthErrors(t *testing.T) {
+	eng := fixtureEngine(t)
+	for _, tc := range []struct {
+		filter Filter
+		field  string
+	}{
+		{Filter{From: "nope"}, "from"},
+		{Filter{To: "2015"}, "to"},
+		{Filter{From: "2015-01", To: "12-2015"}, "to"},
+	} {
+		_, err := eng.Select(tc.filter)
+		var me *MonthError
+		if !errors.As(err, &me) {
+			t.Fatalf("Select(%+v) error = %v, want *MonthError", tc.filter, err)
+		}
+		if me.Field != tc.field {
+			t.Errorf("MonthError.Field = %q, want %q", me.Field, tc.field)
+		}
+		if me.Unwrap() == nil {
+			t.Error("MonthError.Unwrap() = nil")
+		}
+		if tc.filter.Validate() == nil {
+			t.Errorf("Validate(%+v) = nil, want error", tc.filter)
+		}
+	}
+	if err := (Filter{From: "2015-01", To: "2016-11"}).Validate(); err != nil {
+		t.Errorf("valid range: %v", err)
+	}
+}
+
+// randomEngine generates a deterministic pseudo-random corpus for the
+// equivalence property test.
+func randomEngine(t testing.TB, rng *rand.Rand, n int) *Engine {
+	t.Helper()
+	pick := func(opts []string) string { return opts[rng.Intn(len(opts))] }
+	mfrs := []string{"Waymo", "Bosch", "Delphi", "GMCruise", "Tesla", ""}
+	tags := []string{"Software", "Sensor", "Planner", "Recognition System", "Unknown-T"}
+	cats := []string{"System", "ML/Design", "Unknown"}
+	roads := []string{"highway", "city street", "rural", ""}
+	weathers := []string{"sunny", "rain", "fog", ""}
+	modalities := []string{"Manual", "Automatic", "Planned"}
+
+	f := frame.New()
+	col := func(opts []string) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = pick(opts)
+		}
+		return out
+	}
+	times := make([]time.Time, n)
+	start := time.Date(2014, 9, 1, 0, 0, 0, 0, time.UTC)
+	for i := range times {
+		times[i] = start.AddDate(0, rng.Intn(27), rng.Intn(28))
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(f.AddStrings("manufacturer", col(mfrs)))
+	must(f.AddStrings("tag", col(tags)))
+	must(f.AddStrings("category", col(cats)))
+	must(f.AddStrings("road", col(roads)))
+	must(f.AddStrings("weather", col(weathers)))
+	must(f.AddStrings("modality", col(modalities)))
+	must(f.AddTimes("time", times))
+	eng, err := NewFromFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestIndexScanEquivalence is the property test behind the indexed path:
+// for random corpora and random filters, Select (inverted indexes) must
+// return exactly what SelectScan (full scan) returns.
+func TestIndexScanEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	eng := randomEngine(t, rng, 500)
+	maybe := func(opts []string) string {
+		if rng.Intn(2) == 0 {
+			return ""
+		}
+		return opts[rng.Intn(len(opts))]
+	}
+	months := []string{"", "2014-09", "2015-03", "2015-12", "2016-06", "2016-11"}
+	for trial := 0; trial < 200; trial++ {
+		f := Filter{
+			Manufacturer: maybe([]string{"Waymo", "bosch", "DELPHI", "Tesla", "Nissan"}),
+			Tag:          maybe([]string{"Software", "sensor", "Planner", "No Such Tag"}),
+			Category:     maybe([]string{"System", "ml/design", "Unknown"}),
+			Road:         maybe([]string{"highway", "rural", "parking lot"}),
+			Weather:      maybe([]string{"sunny", "rain"}),
+			Modality:     maybe([]string{"Manual", "automatic"}),
+			From:         months[rng.Intn(len(months))],
+			To:           months[rng.Intn(len(months))],
+		}
+		indexed, err := eng.Select(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, err := eng.SelectScan(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(indexed, scanned) {
+			t.Fatalf("trial %d: filter %+v: indexed %v != scanned %v", trial, f, indexed, scanned)
+		}
+	}
+}
+
+func TestPagination(t *testing.T) {
+	eng := fixtureEngine(t)
+	tests := []struct {
+		name       string
+		page       Page
+		wantLen    int
+		wantFirst  string // first event's cause, "" when empty
+		wantTotal  int
+		wantOffset int
+	}{
+		{"all with zero limit", Page{}, 5, "a", 5, 0},
+		{"first page", Page{Limit: 2}, 2, "a", 5, 0},
+		{"middle page", Page{Offset: 2, Limit: 2}, 2, "c", 5, 2},
+		{"last partial page", Page{Offset: 4, Limit: 2}, 1, "e", 5, 4},
+		{"offset at total", Page{Offset: 5, Limit: 2}, 0, "", 5, 5},
+		{"offset past total", Page{Offset: 99, Limit: 2}, 0, "", 5, 99},
+		{"negative offset clamps", Page{Offset: -3, Limit: 2}, 2, "a", 5, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			page, err := eng.Events(Filter{}, tc.page)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if page.Total != tc.wantTotal || page.Offset != tc.wantOffset {
+				t.Errorf("page meta = total %d offset %d, want %d, %d",
+					page.Total, page.Offset, tc.wantTotal, tc.wantOffset)
+			}
+			if page.Events == nil {
+				t.Fatal("Events slice is nil; want non-nil for JSON []")
+			}
+			if len(page.Events) != tc.wantLen {
+				t.Fatalf("len(events) = %d, want %d", len(page.Events), tc.wantLen)
+			}
+			if tc.wantLen > 0 && page.Events[0].Cause != tc.wantFirst {
+				t.Errorf("first cause = %q, want %q", page.Events[0].Cause, tc.wantFirst)
+			}
+		})
+	}
+
+	t.Run("empty filter result", func(t *testing.T) {
+		page, err := eng.Events(Filter{Manufacturer: "DeLorean"}, Page{Limit: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != 0 || len(page.Events) != 0 || page.Events == nil {
+			t.Errorf("empty result page = %+v", page)
+		}
+	})
+}
+
+func TestGroupCount(t *testing.T) {
+	eng := fixtureEngine(t)
+	got, err := eng.GroupCount(Filter{}, "tag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []GroupCount{{"Software", 3}, {"Planner", 1}, {"Sensor", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GroupCount(tag) = %v, want %v", got, want)
+	}
+
+	got, err = eng.GroupCount(Filter{Manufacturer: "Waymo"}, "month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []GroupCount{{"2015-03", 1}, {"2015-06", 1}, {"2016-11", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GroupCount(month) = %v, want %v", got, want)
+	}
+
+	// Fallback through the dataframe layer for non-cached columns.
+	got, err = eng.GroupCount(Filter{Tag: "Software"}, "cause")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []GroupCount{{"a", 1}, {"c", 1}, {"e", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GroupCount(cause) = %v, want %v", got, want)
+	}
+
+	if _, err := eng.GroupCount(Filter{}, "nope"); err == nil {
+		t.Error("unknown column: want error")
+	}
+}
+
+func TestFrameProjection(t *testing.T) {
+	eng := fixtureEngine(t)
+	fr, err := eng.Frame(Filter{Manufacturer: "Waymo", Tag: "Software"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.NumRows() != 2 {
+		t.Errorf("projected rows = %d, want 2", fr.NumRows())
+	}
+	causes, err := fr.StringsCol("cause")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(causes, []string{"a", "e"}) {
+		t.Errorf("projected causes = %v", causes)
+	}
+}
+
+func TestNewFromFrameMissingColumns(t *testing.T) {
+	f := frame.New()
+	if err := f.AddStrings("manufacturer", []string{"Waymo", "Bosch"}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewFromFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := eng.Count(Filter{Manufacturer: "Waymo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("count = %d", n)
+	}
+	// Predicates over absent columns match nothing (zero values).
+	n, err = eng.Count(Filter{Tag: "Software"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("absent-column count = %d", n)
+	}
+}
+
+func TestNewNilInputs(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("New(nil): want error")
+	}
+	if _, err := NewFromFrame(nil); err == nil {
+		t.Error("NewFromFrame(nil): want error")
+	}
+}
+
+func TestReliabilityRequiresDB(t *testing.T) {
+	eng := fixtureEngine(t)
+	if _, err := eng.Reliability(); err == nil {
+		t.Error("frame-only engine Reliability: want error")
+	}
+}
+
+func BenchmarkSelectIndexed(b *testing.B) { benchmarkSelect(b, true) }
+func BenchmarkSelectScan(b *testing.B)    { benchmarkSelect(b, false) }
+
+// benchmarkSelect measures a selective manufacturer+tag query on a 20k-row
+// corpus through both paths; the indexed path should win by the corpus /
+// posting-list size ratio.
+func benchmarkSelect(b *testing.B, indexed bool) {
+	rng := rand.New(rand.NewSource(11))
+	eng := randomEngine(b, rng, 20000)
+	f := Filter{Manufacturer: "Waymo", Tag: "Sensor"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if indexed {
+			_, err = eng.Select(f)
+		} else {
+			_, err = eng.SelectScan(f)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+
+	"avfda/internal/core"
+	"avfda/internal/query"
+)
+
+// Study is one cached, fully built study: the consolidated failure
+// database plus its query engine. Both are immutable after construction,
+// so a cached study is served to any number of concurrent requests.
+type Study struct {
+	DB     *core.DB
+	Engine *query.Engine
+}
+
+// BuildFunc builds the study for one seed. Builds are expensive (a full
+// Stage I-IV pipeline run), which is exactly why the cache exists.
+type BuildFunc func(seed int64) (*Study, error)
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	// Hits counts Gets answered from a resident study.
+	Hits int64
+	// Misses counts Gets that found no resident study (whether they
+	// started a build or joined one already in flight).
+	Misses int64
+	// Builds counts builds started (each coalesces any number of
+	// concurrent Gets for the same seed).
+	Builds int64
+	// Evictions counts studies dropped to respect the capacity.
+	Evictions int64
+	// Resident is the number of studies currently cached.
+	Resident int
+}
+
+// Cache is a seed-keyed LRU of built studies. Concurrent Gets for an
+// absent seed are coalesced singleflight-style: exactly one build runs and
+// every waiter receives its result. A caller whose context expires stops
+// waiting, but the build keeps running and populates the cache for later
+// requests — abandoning a half-done pipeline run would only force the next
+// caller to pay for it again.
+type Cache struct {
+	build BuildFunc
+	cap   int
+
+	mu      sync.Mutex
+	order   *list.List              // of *cacheEntry, most recently used first
+	entries map[int64]*list.Element // resident studies
+	flights map[int64]*flight       // in-progress builds
+	stats   CacheStats
+}
+
+// cacheEntry is one resident study.
+type cacheEntry struct {
+	seed  int64
+	study *Study
+}
+
+// flight is one in-progress build; study/err are set before done closes.
+type flight struct {
+	done  chan struct{}
+	study *Study
+	err   error
+}
+
+// NewCache creates a cache holding at most capacity studies (minimum 1).
+func NewCache(build BuildFunc, capacity int) (*Cache, error) {
+	if build == nil {
+		return nil, errors.New("serve: nil build function")
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		build:   build,
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[int64]*list.Element),
+		flights: make(map[int64]*flight),
+	}, nil
+}
+
+// Get returns the study for seed, building it on first use. It blocks
+// until the study is ready or ctx expires; on expiry the error is the
+// context's and the background build continues.
+func (c *Cache) Get(ctx context.Context, seed int64) (*Study, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[seed]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		study := el.Value.(*cacheEntry).study
+		c.mu.Unlock()
+		return study, nil
+	}
+	c.stats.Misses++
+	fl, inFlight := c.flights[seed]
+	if !inFlight {
+		fl = &flight{done: make(chan struct{})}
+		c.flights[seed] = fl
+		c.stats.Builds++
+		go c.run(seed, fl)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-fl.done:
+		return fl.study, fl.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// run executes one build and publishes its result.
+func (c *Cache) run(seed int64, fl *flight) {
+	study, err := c.build(seed)
+	fl.study, fl.err = study, err
+
+	c.mu.Lock()
+	delete(c.flights, seed)
+	if err == nil {
+		el := c.order.PushFront(&cacheEntry{seed: seed, study: study})
+		c.entries[seed] = el
+		for c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).seed)
+			c.stats.Evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Resident = c.order.Len()
+	return s
+}

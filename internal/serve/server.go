@@ -1,0 +1,397 @@
+// Package serve is the HTTP serving layer over the failure database
+// (system #19 in DESIGN.md §2): a stdlib-only JSON API that turns the
+// batch toolchain into a long-running service.
+//
+// Studies are expensive to build (a full Stage I-IV pipeline run), so the
+// server keeps a seed-keyed LRU cache guarded by singleflight: the first
+// request for a seed builds the study exactly once no matter how many
+// requests race, later requests are answered from memory, and an evicted
+// study is simply rebuilt on next use. Every request runs under a
+// deadline (Config.RequestTimeout); a request that times out while its
+// study is still building returns 504 without cancelling the build, which
+// completes in the background and serves the retry. Request counts,
+// latency histograms, and cache counters are exported in Prometheus text
+// format at /metrics.
+//
+// Routes:
+//
+//	GET /healthz                                     liveness probe
+//	GET /metrics                                     Prometheus text metrics
+//	GET /v1/studies/{seed}/disengagements            filtered, paginated events
+//	GET /v1/studies/{seed}/accidents                 filtered, paginated accidents
+//	GET /v1/studies/{seed}/groupby?by=tag            group-by counts
+//	GET /v1/studies/{seed}/metrics/reliability       per-manufacturer DPM/DPA/APM
+//	GET /v1/studies/{seed}/tables/{id}               rendered paper table (i..viii)
+//
+// Filter query parameters mirror the avquery flags: mfr, tag, category,
+// road, weather, modality, from, to; listings also take offset and limit.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"avfda/internal/core"
+	"avfda/internal/query"
+	"avfda/internal/report"
+	"avfda/internal/schema"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Build constructs the study for a seed (required).
+	Build BuildFunc
+	// CacheSize bounds the number of resident studies; <= 0 means 4.
+	CacheSize int
+	// RequestTimeout bounds each request, including any study build it
+	// triggers; <= 0 means 60s.
+	RequestTimeout time.Duration
+}
+
+// Server is the HTTP API over cached studies. Create with New; it
+// implements http.Handler and is safe for concurrent use.
+type Server struct {
+	cache   *Cache
+	metrics *Metrics
+	timeout time.Duration
+	mux     *http.ServeMux
+}
+
+// DefaultListLimit caps listing responses when no limit parameter is
+// given; MaxListLimit is the largest accepted limit.
+const (
+	DefaultListLimit = 50
+	MaxListLimit     = 1000
+)
+
+// New creates a Server around the given study builder.
+func New(cfg Config) (*Server, error) {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	cache, err := NewCache(cfg.Build, cfg.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cache:   cache,
+		metrics: NewMetrics(),
+		timeout: cfg.RequestTimeout,
+		mux:     http.NewServeMux(),
+	}
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /v1/studies/{seed}/disengagements", s.handleDisengagements)
+	s.route("GET /v1/studies/{seed}/accidents", s.handleAccidents)
+	s.route("GET /v1/studies/{seed}/groupby", s.handleGroupBy)
+	s.route("GET /v1/studies/{seed}/metrics/reliability", s.handleReliability)
+	s.route("GET /v1/studies/{seed}/tables/{id}", s.handleTable)
+	return s, nil
+}
+
+// CacheStats exposes the study cache counters (for tests and operators).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// route registers a handler wrapped with the per-request deadline and the
+// metrics middleware. The mux pattern (minus the method) is the metrics
+// route label, so labels have bounded cardinality.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	label := pattern
+	if _, path, ok := strings.Cut(pattern, " "); ok {
+		label = path
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r.WithContext(ctx))
+		s.metrics.Observe(label, rec.code, time.Since(start).Seconds())
+	})
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status code.
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError emits a JSON error response.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// study resolves the {seed} path segment and returns the cached (or
+// freshly built) study. A false return means the response is written.
+func (s *Server) study(w http.ResponseWriter, r *http.Request) (*Study, bool) {
+	seed, err := strconv.ParseInt(r.PathValue("seed"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad seed %q: want an integer", r.PathValue("seed"))
+		return nil, false
+	}
+	study, err := s.cache.Get(r.Context(), seed)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeError(w, http.StatusGatewayTimeout,
+				"study %d still building; retry shortly", seed)
+			return nil, false
+		}
+		writeError(w, http.StatusInternalServerError, "build study %d: %v", seed, err)
+		return nil, false
+	}
+	return study, true
+}
+
+// filterFromQuery maps the request's query parameters onto a query.Filter.
+func filterFromQuery(r *http.Request) query.Filter {
+	q := r.URL.Query()
+	return query.Filter{
+		Manufacturer: q.Get("mfr"),
+		Tag:          q.Get("tag"),
+		Category:     q.Get("category"),
+		Road:         q.Get("road"),
+		Weather:      q.Get("weather"),
+		Modality:     q.Get("modality"),
+		From:         q.Get("from"),
+		To:           q.Get("to"),
+	}
+}
+
+// pageFromQuery parses offset/limit with defaults and caps. A false
+// return means the error response is written.
+func pageFromQuery(w http.ResponseWriter, r *http.Request) (query.Page, bool) {
+	p := query.Page{Limit: DefaultListLimit}
+	q := r.URL.Query()
+	for _, arg := range []struct {
+		name string
+		dst  *int
+	}{{"offset", &p.Offset}, {"limit", &p.Limit}} {
+		raw := q.Get(arg.name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad %s %q: want a non-negative integer", arg.name, raw)
+			return query.Page{}, false
+		}
+		*arg.dst = v
+	}
+	if p.Limit <= 0 || p.Limit > MaxListLimit {
+		p.Limit = MaxListLimit
+	}
+	return p, true
+}
+
+// handleHealthz answers liveness probes without touching the cache.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WriteText(w, s.cache.Stats())
+}
+
+// handleDisengagements lists filtered, paginated disengagement events.
+func (s *Server) handleDisengagements(w http.ResponseWriter, r *http.Request) {
+	study, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	page, ok := pageFromQuery(w, r)
+	if !ok {
+		return
+	}
+	res, err := study.Engine.Events(filterFromQuery(r), page)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// AccidentPage is one page of accident reports.
+type AccidentPage struct {
+	Total     int               `json:"total"`
+	Offset    int               `json:"offset"`
+	Limit     int               `json:"limit"`
+	Accidents []schema.Accident `json:"accidents"`
+}
+
+// handleAccidents lists accident reports, filtered by mfr and month range.
+func (s *Server) handleAccidents(w http.ResponseWriter, r *http.Request) {
+	study, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	page, ok := pageFromQuery(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	from, toExcl, err := query.ParseMonthRange(q.Get("from"), q.Get("to"))
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	mfr := q.Get("mfr")
+	matched := make([]schema.Accident, 0, len(study.DB.Accidents))
+	for _, a := range study.DB.Accidents {
+		if mfr != "" && !strings.EqualFold(string(a.Manufacturer), mfr) {
+			continue
+		}
+		if !from.IsZero() && a.Time.Before(from) {
+			continue
+		}
+		if !toExcl.IsZero() && !a.Time.Before(toExcl) {
+			continue
+		}
+		matched = append(matched, a)
+	}
+	res := AccidentPage{Total: len(matched), Offset: page.Offset, Limit: page.Limit}
+	start := page.Offset
+	if start > len(matched) {
+		start = len(matched)
+	}
+	end := len(matched)
+	if start+page.Limit < end {
+		end = start + page.Limit
+	}
+	res.Accidents = matched[start:end]
+	writeJSON(w, http.StatusOK, res)
+}
+
+// GroupByResponse is the group-by endpoint's payload.
+type GroupByResponse struct {
+	By     string             `json:"by"`
+	Total  int                `json:"total"`
+	Groups []query.GroupCount `json:"groups"`
+}
+
+// handleGroupBy counts filtered events per value of the ?by= column.
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	study, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	by := r.URL.Query().Get("by")
+	if by == "" {
+		writeError(w, http.StatusBadRequest,
+			"missing by parameter: want one of %s", strings.Join(query.GroupColumns(), ", "))
+		return
+	}
+	groups, err := study.Engine.GroupCount(filterFromQuery(r), by)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	res := GroupByResponse{By: by, Groups: groups}
+	for _, g := range groups {
+		res.Total += g.Count
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// ReliabilityResponse is the reliability-metrics payload.
+type ReliabilityResponse struct {
+	Manufacturers []query.ReliabilityMetric `json:"manufacturers"`
+}
+
+// handleReliability reports per-manufacturer DPM/DPA/APM metrics.
+func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
+	study, ok := s.study(w, r)
+	if !ok {
+		return
+	}
+	rows, err := study.Engine.Reliability()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reliability: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReliabilityResponse{Manufacturers: rows})
+}
+
+// tableRenderers maps a lower-cased table id to its renderer. Table II
+// (sample NLP assignments) needs per-run sample rows and is not served.
+var tableRenderers = map[string]func(*core.DB) (string, error){
+	"i":    func(db *core.DB) (string, error) { return report.TableI(db), nil },
+	"iii":  func(db *core.DB) (string, error) { return report.TableIII(), nil },
+	"iv":   func(db *core.DB) (string, error) { return report.TableIV(db), nil },
+	"v":    func(db *core.DB) (string, error) { return report.TableV(db), nil },
+	"vi":   func(db *core.DB) (string, error) { return report.TableVI(db), nil },
+	"vii":  report.TableVII,
+	"viii": report.TableVIII,
+}
+
+// handleTable renders one paper table as plain text.
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	id := strings.ToLower(r.PathValue("id"))
+	render, ok := tableRenderers[id]
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"unknown table %q: want one of i, iii, iv, v, vi, vii, viii", r.PathValue("id"))
+		return
+	}
+	study, okStudy := s.study(w, r)
+	if !okStudy {
+		return
+	}
+	text, err := render(study.DB)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "render table %s: %v", id, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
+}
+
+// writeQueryError maps engine errors to status codes: malformed client
+// input (month bounds, unknown columns) is 400, the rest 500.
+func writeQueryError(w http.ResponseWriter, err error) {
+	var me *query.MonthError
+	if errors.As(err, &me) {
+		writeError(w, http.StatusBadRequest, "%v", me)
+		return
+	}
+	if strings.Contains(err.Error(), "group by") || strings.Contains(err.Error(), "no column") {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "%v", err)
+}

@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"avfda/internal/core"
+	"avfda/internal/ontology"
+	"avfda/internal/query"
+	"avfda/internal/schema"
+)
+
+// testDB hand-assembles a small failure database.
+func testDB(t *testing.T) *core.DB {
+	t.Helper()
+	month := func(m int) time.Time { return time.Date(2015, time.Month(m), 1, 0, 0, 0, 0, time.UTC) }
+	ev := func(m schema.Manufacturer, v schema.VehicleID, mo int, tag ontology.Tag, cause string) core.Event {
+		return core.Event{
+			Disengagement: schema.Disengagement{
+				Manufacturer: m, Vehicle: v, ReportYear: schema.Report2016,
+				Time: month(mo).AddDate(0, 0, 9), Cause: cause,
+				Modality: schema.ModalityManual,
+			},
+			Tag:      tag,
+			Category: ontology.CategoryOf(tag),
+		}
+	}
+	return &core.DB{
+		Mileage: []schema.MonthlyMileage{
+			{Manufacturer: schema.Waymo, Vehicle: "W1", ReportYear: schema.Report2016, Month: month(3), Miles: 100},
+			{Manufacturer: schema.Bosch, Vehicle: "B1", ReportYear: schema.Report2016, Month: month(3), Miles: 40},
+		},
+		Events: []core.Event{
+			ev(schema.Waymo, "W1", 3, ontology.TagSoftware, "software hang"),
+			ev(schema.Waymo, "W1", 6, ontology.TagSensor, "sensor dropout"),
+			ev(schema.Bosch, "B1", 6, ontology.TagSoftware, "crash"),
+		},
+		Accidents: []schema.Accident{
+			{Manufacturer: schema.Waymo, Vehicle: "W1", ReportYear: schema.Report2016,
+				Time: month(7).AddDate(0, 0, 3), Location: "El Camino Real",
+				AVSpeedMPH: 5, OtherSpeedMPH: 10, InAutonomousMode: true},
+			{Manufacturer: schema.Bosch, Vehicle: "B1", ReportYear: schema.Report2016,
+				Time: month(9).AddDate(0, 0, 3), Location: "First St",
+				AVSpeedMPH: 2, OtherSpeedMPH: 0},
+		},
+	}
+}
+
+// testBuilder builds the fixture study for any seed, counting builds.
+func testBuilder(t *testing.T, calls *atomic.Int64, delay time.Duration) BuildFunc {
+	db := testDB(t)
+	return func(seed int64) (*Study, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		engine, err := query.New(db)
+		if err != nil {
+			return nil, err
+		}
+		return &Study{DB: db, Engine: engine}, nil
+	}
+}
+
+// newTestServer wires a Server over the fixture builder.
+func newTestServer(t *testing.T, calls *atomic.Int64, delay time.Duration, timeout time.Duration) *Server {
+	t.Helper()
+	s, err := New(Config{Build: testBuilder(t, calls, delay), CacheSize: 2, RequestTimeout: timeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// get performs one request against the server and returns code + body.
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, nil, 0, 0)
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestDisengagementsRoundTrip(t *testing.T) {
+	s := newTestServer(t, nil, 0, 0)
+	code, body := get(t, s, "/v1/studies/1/disengagements?mfr=Waymo")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d body = %s", code, body)
+	}
+	var page query.EventPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 2 || len(page.Events) != 2 {
+		t.Errorf("page = %+v", page)
+	}
+	if page.Events[0].Manufacturer != "Waymo" || page.Events[0].Tag != "Software" {
+		t.Errorf("first event = %+v", page.Events[0])
+	}
+
+	// Filtered + paginated.
+	code, body = get(t, s, "/v1/studies/1/disengagements?tag=Software&limit=1")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 2 || len(page.Events) != 1 || page.Limit != 1 {
+		t.Errorf("paginated page = %+v", page)
+	}
+}
+
+func TestAccidents(t *testing.T) {
+	s := newTestServer(t, nil, 0, 0)
+	code, body := get(t, s, "/v1/studies/1/accidents?mfr=Bosch")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	var page AccidentPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 1 || len(page.Accidents) != 1 || page.Accidents[0].Location != "First St" {
+		t.Errorf("accidents = %+v", page)
+	}
+
+	// Month range excludes the September accident.
+	code, body = get(t, s, "/v1/studies/1/accidents?from=2015-01&to=2015-08")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 1 || page.Accidents[0].Location != "El Camino Real" {
+		t.Errorf("ranged accidents = %+v", page)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	s := newTestServer(t, nil, 0, 0)
+	code, body := get(t, s, "/v1/studies/1/groupby?by=tag")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	var res GroupByResponse
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.By != "tag" || res.Total != 3 || len(res.Groups) != 2 {
+		t.Errorf("groupby = %+v", res)
+	}
+	if res.Groups[0].Key != "Software" || res.Groups[0].Count != 2 {
+		t.Errorf("top group = %+v", res.Groups[0])
+	}
+}
+
+func TestReliabilityEndpoint(t *testing.T) {
+	s := newTestServer(t, nil, 0, 0)
+	code, body := get(t, s, "/v1/studies/1/metrics/reliability")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d body = %s", code, body)
+	}
+	var res ReliabilityResponse
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Manufacturers) != 2 {
+		t.Fatalf("manufacturers = %+v", res.Manufacturers)
+	}
+	for _, m := range res.Manufacturers {
+		if m.Manufacturer == "Waymo" && (m.Events != 2 || m.Accidents != 1 || m.DPM <= 0) {
+			t.Errorf("Waymo metrics = %+v", m)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	s := newTestServer(t, nil, 0, 0)
+	code, body := get(t, s, "/v1/studies/1/tables/iv")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, "Table IV") {
+		t.Errorf("table body = %q", body[:min(len(body), 120)])
+	}
+	// Upper-case roman ids resolve too.
+	code, _ = get(t, s, "/v1/studies/1/tables/VI")
+	if code != http.StatusOK {
+		t.Errorf("tables/VI code = %d", code)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s := newTestServer(t, nil, 0, 0)
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/v1/studies/abc/disengagements", http.StatusBadRequest},
+		{"/v1/studies/1/disengagements?from=bogus", http.StatusBadRequest},
+		{"/v1/studies/1/disengagements?limit=nope", http.StatusBadRequest},
+		{"/v1/studies/1/disengagements?offset=-4", http.StatusBadRequest},
+		{"/v1/studies/1/groupby", http.StatusBadRequest},
+		{"/v1/studies/1/groupby?by=bogus", http.StatusBadRequest},
+		{"/v1/studies/1/accidents?to=2015-99", http.StatusBadRequest},
+		{"/v1/studies/1/tables/xyz", http.StatusNotFound},
+		{"/v1/studies/1/tables/ii", http.StatusNotFound},
+		{"/v1/nope", http.StatusNotFound},
+	} {
+		code, body := get(t, s, tc.path)
+		if code != tc.code {
+			t.Errorf("GET %s = %d (%s), want %d", tc.path, code, strings.TrimSpace(body), tc.code)
+		}
+	}
+}
+
+// TestCacheHitOnSecondRequest: the second request must not rebuild, and
+// /metrics must report the hit.
+func TestCacheHitOnSecondRequest(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, 0, 0)
+	for i := 0; i < 2; i++ {
+		if code, _ := get(t, s, "/v1/studies/1/disengagements"); code != http.StatusOK {
+			t.Fatalf("request %d failed", i)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("builds = %d, want 1", calls.Load())
+	}
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics code = %d", code)
+	}
+	for _, want := range []string{
+		"avserve_cache_hits_total 1",
+		"avserve_cache_misses_total 1",
+		"avserve_cache_builds_total 1",
+		"avserve_cache_resident 1",
+		`avserve_requests_total{route="/v1/studies/{seed}/disengagements",code="200"} 2`,
+		`avserve_request_duration_seconds_count{route="/v1/studies/{seed}/disengagements"} 2`,
+		`avserve_request_duration_seconds_bucket{route="/v1/studies/{seed}/disengagements",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestSingleflightOverHTTP: concurrent first requests for a seed share one
+// build.
+func TestSingleflightOverHTTP(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, 50*time.Millisecond, 0)
+	const n = 6
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = get(t, s, "/v1/studies/7/disengagements")
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("request %d code = %d", i, code)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("builds = %d, want 1 (singleflight)", calls.Load())
+	}
+}
+
+// TestRequestTimeoutWhileBuilding: a request whose deadline fires before
+// the build finishes gets 504; the build still lands in the cache.
+func TestRequestTimeoutWhileBuilding(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, 100*time.Millisecond, 15*time.Millisecond)
+	code, body := get(t, s, "/v1/studies/1/disengagements")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("code = %d (%s), want 504", code, strings.TrimSpace(body))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.CacheStats().Resident == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("build never completed in background")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ = get(t, s, "/v1/studies/1/disengagements"); code != http.StatusOK {
+		t.Errorf("post-build code = %d", code)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("builds = %d, want 1", calls.Load())
+	}
+}
+
+// TestGracefulShutdownDrains: an in-flight request survives Shutdown, and
+// new connections are refused afterwards.
+func TestGracefulShutdownDrains(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, 150*time.Millisecond, 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		code int
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/studies/1/disengagements")
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.ReadAll(resp.Body)
+		inflight <- result{code: resp.StatusCode}
+	}()
+
+	// Let the slow request reach the handler, then drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight request never started building")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	res := <-inflight
+	if res.err != nil || res.code != http.StatusOK {
+		t.Errorf("in-flight request = %+v, want drained 200", res)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("post-shutdown request succeeded; want connection error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil builder: want error")
+	}
+}
