@@ -3,10 +3,11 @@
 GO ?= go
 
 RACE_PKGS := ./internal/pipeline ./internal/parse ./internal/nlp ./internal/ocr ./internal/query ./internal/serve
-BENCH_SMOKE := PipelineEndToEnd|ParseConcurrent|ClassifyAll
+BENCH_SMOKE := PipelineEndToEnd|ParseConcurrent|ClassifyAll|Snapshot
 SERVE_ADDR ?= 127.0.0.1:18080
+BENCH_DATE := $(shell date +%F)
 
-.PHONY: build vet test race bench fmt serve ci
+.PHONY: build vet test race bench bench-json fmt serve ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +23,14 @@ race:
 
 bench:
 	$(GO) test -bench '$(BENCH_SMOKE)' -benchtime 1x -run '^$$' ./...
+
+# Machine-readable benchmark artifact: the smoke benchmarks (including the
+# snapshot load-vs-rebuild pair) rendered as name -> ns/op JSON. CI uploads
+# the resulting BENCH_<date>.json.
+bench-json:
+	$(GO) test -bench '$(BENCH_SMOKE)' -benchtime 1x -run '^$$' ./... \
+		| $(GO) run ./cmd/benchjson -o BENCH_$(BENCH_DATE).json
+	@echo "wrote BENCH_$(BENCH_DATE).json"
 
 # Build avserve and smoke-test it: start on SERVE_ADDR, poll /healthz until
 # it answers, then shut the server down. Fails if the probe never succeeds.

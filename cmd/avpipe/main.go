@@ -5,9 +5,14 @@
 // Usage:
 //
 //	avpipe [-seed 1] [-noise 0.002] [-clean] [-no-expand] [-workers 0] [-in corpus/documents]
+//	       [-csv out/] [-snapshot-out snapshots/]
 //
 // Without -in, the corpus is generated in memory; with -in, pre-rendered
 // documents (from avgen, optionally re-noised by avocr) are parsed instead.
+// -snapshot-out exports the consolidated failure database as a versioned,
+// checksummed study snapshot named study-<seed>.avsnap inside the given
+// directory; avserve/avquery -snapshot-dir load it back without re-running
+// the pipeline (ship the file from CI to every serving replica).
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"avfda/internal/ocr"
 	"avfda/internal/parse"
 	"avfda/internal/pipeline"
+	"avfda/internal/snapshot"
 	"avfda/internal/synth"
 )
 
@@ -42,10 +48,11 @@ func run() error {
 	workers := flag.Int("workers", 0, "worker pool size for the concurrent stages (0 = all cores)")
 	in := flag.String("in", "", "parse pre-rendered documents from this directory instead of generating")
 	csvOut := flag.String("csv", "", "write the consolidated failure database as CSV into this directory")
+	snapOut := flag.String("snapshot-out", "", "export the study snapshot (study-<seed>.avsnap) into this directory")
 	flag.Parse()
 
 	if *in != "" {
-		return runFromDocuments(*in, *noExpand, *workers, *csvOut)
+		return runFromDocuments(*in, *noExpand, *workers, *csvOut, *snapOut, *seed)
 	}
 
 	cfg := pipeline.DefaultConfig()
@@ -64,7 +71,23 @@ func run() error {
 		return err
 	}
 	printResult(res, true)
-	return writeCSVs(res.DB, *csvOut)
+	if err := writeCSVs(res.DB, *csvOut); err != nil {
+		return err
+	}
+	return writeSnapshot(res.DB, *snapOut, *seed)
+}
+
+// writeSnapshot exports the consolidated database as a study snapshot when
+// dir is set, so serving processes can warm-start from it.
+func writeSnapshot(db *core.DB, dir string, seed int64) error {
+	if dir == "" {
+		return nil
+	}
+	if err := snapshot.WriteSeed(dir, seed, db); err != nil {
+		return err
+	}
+	fmt.Printf("study snapshot written to %s\n", snapshot.Path(dir, seed))
+	return nil
 }
 
 // writeCSVs exports the consolidated database as CSV files when dir is set.
@@ -104,8 +127,9 @@ func writeCSVs(db *core.DB, dir string) error {
 	return nil
 }
 
-// runFromDocuments parses a document directory through Stages II-IV.
-func runFromDocuments(dir string, noExpand bool, workers int, csvOut string) error {
+// runFromDocuments parses a document directory through Stages II-IV. The
+// seed only names the exported snapshot (the documents carry the data).
+func runFromDocuments(dir string, noExpand bool, workers int, csvOut, snapOut string, seed int64) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -158,7 +182,10 @@ func runFromDocuments(dir string, noExpand bool, workers int, csvOut string) err
 		DictionarySize: dict.Size(),
 	}
 	printResult(res, false)
-	return writeCSVs(db, csvOut)
+	if err := writeCSVs(db, csvOut); err != nil {
+		return err
+	}
+	return writeSnapshot(db, snapOut, seed)
 }
 
 func printResult(res *pipeline.Result, haveTruth bool) {

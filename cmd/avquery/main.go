@@ -6,27 +6,37 @@
 //
 // Usage:
 //
-//	avquery [-seed 1] [-mfr Waymo] [-tag "Recognition System"]
+//	avquery [-seed 1] [-snapshot-dir snapshots/] [-mfr Waymo] [-tag "Recognition System"]
 //	        [-category ML/Design] [-road highway] [-weather rain]
 //	        [-modality manual] [-from 2015-01] [-to 2015-12]
 //	        [-by tag|category|month|road|weather|modality|manufacturer]
-//	        [-limit 20] [-csv] [-json]
+//	        [-accidents] [-limit 20] [-csv] [-json]
 //
 // Without -by, matching events are listed (up to -limit); with -by, counts
-// per group are printed. -csv emits the matching rows as CSV on stdout;
-// -json emits the listing or the group counts as JSON instead of text.
-// Malformed -from/-to values are rejected with a parse error.
+// per group are printed; with -accidents, accident reports matching -mfr
+// and the month range are listed through the same query.Engine.Accidents
+// path the avserve API uses. -csv emits the matching rows as CSV on
+// stdout; -json emits the listing or the group counts as JSON instead of
+// text. Malformed -from/-to values are rejected with a parse error.
+//
+// With -snapshot-dir, the study is loaded from the directory's
+// study-<seed>.avsnap snapshot (written by avpipe -snapshot-out) instead
+// of re-running the Stage I-IV pipeline; a missing snapshot falls back to
+// the pipeline build, while a corrupt one is a hard error.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 
 	"avfda"
 	"avfda/internal/query"
+	"avfda/internal/snapshot"
 )
 
 func main() {
@@ -38,6 +48,7 @@ func main() {
 
 func run() error {
 	seed := flag.Int64("seed", 1, "study seed")
+	snapDir := flag.String("snapshot-dir", "", "load the study from this snapshot directory instead of rebuilding")
 	mfr := flag.String("mfr", "", "filter: manufacturer name")
 	tag := flag.String("tag", "", "filter: fault tag")
 	category := flag.String("category", "", "filter: failure category")
@@ -47,6 +58,7 @@ func run() error {
 	from := flag.String("from", "", "filter: first month, YYYY-MM")
 	to := flag.String("to", "", "filter: last month, YYYY-MM")
 	by := flag.String("by", "", "group counts by this column instead of listing")
+	accidents := flag.Bool("accidents", false, "list accident reports instead of disengagements")
 	limit := flag.Int("limit", 20, "max rows to list")
 	csv := flag.Bool("csv", false, "emit matching rows as CSV")
 	jsonOut := flag.Bool("json", false, "emit the listing or group counts as JSON")
@@ -61,14 +73,22 @@ func run() error {
 		return err
 	}
 
-	study, err := avfda.NewStudy(avfda.Options{Seed: *seed})
+	eng, err := loadEngine(*snapDir, *seed)
 	if err != nil {
 		return err
 	}
-	eng, err := query.New(study.DB())
-	if err != nil {
-		return err
+
+	if *accidents {
+		page, err := eng.Accidents(f, query.Page{Limit: *limit})
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return encodeJSON(os.Stdout, page)
+		}
+		return printAccidents(os.Stdout, page, *limit)
 	}
+
 	matched, err := eng.Count(f)
 	if err != nil {
 		return err
@@ -93,6 +113,45 @@ func run() error {
 		}
 		return printRows(os.Stdout, eng, f, *limit)
 	}
+}
+
+// loadEngine builds the query engine, preferring a study snapshot when a
+// directory is given. A missing snapshot falls back to the pipeline build;
+// a corrupt or incompatible one is surfaced rather than silently rebuilt.
+func loadEngine(snapDir string, seed int64) (*query.Engine, error) {
+	if snapDir != "" {
+		db, err := snapshot.ReadSeed(snapDir, seed)
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "loaded snapshot %s\n", snapshot.Path(snapDir, seed))
+			return query.New(db)
+		case errors.Is(err, fs.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "no snapshot for seed %d in %s; building\n", seed, snapDir)
+		default:
+			return nil, err
+		}
+	}
+	study, err := avfda.NewStudy(avfda.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return query.New(study.DB())
+}
+
+// printAccidents lists matched accident reports, truncated to limit.
+func printAccidents(w io.Writer, page query.AccidentPage, limit int) error {
+	for _, a := range page.Accidents {
+		mode := "manual"
+		if a.InAutonomousMode {
+			mode = "autonomous"
+		}
+		fmt.Fprintf(w, "%s  %-14s %-10s %s\n",
+			a.Time.Format("2006-01-02"), a.Manufacturer, mode, a.Location)
+	}
+	if page.Total > limit {
+		fmt.Fprintf(w, "... and %d more (raise -limit)\n", page.Total-limit)
+	}
+	return nil
 }
 
 // printGroups prints per-group counts, descending.

@@ -6,13 +6,17 @@
 //
 // Usage:
 //
-//	avserve [-addr :8080] [-cache 4] [-workers 0]
+//	avserve [-addr :8080] [-cache 4] [-workers 0] [-snapshot-dir snapshots/]
 //	        [-request-timeout 60s] [-read-timeout 10s] [-write-timeout 90s]
 //	        [-shutdown-timeout 10s]
 //
 // The first request for a seed builds that study (seconds of CPU); the
 // build is shared by every concurrent request for the seed and cached for
-// later ones. See the route list in internal/serve.
+// later ones. With -snapshot-dir, a cache miss first tries the
+// directory's study-<seed>.avsnap snapshot (written by avpipe
+// -snapshot-out) and only falls back to the pipeline on a missing file;
+// fresh builds are written back so the next process warm-starts. See the
+// route list in internal/serve.
 package main
 
 import (
@@ -45,6 +49,7 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheSize := fs.Int("cache", 4, "max resident studies in the LRU cache")
 	workers := fs.Int("workers", 0, "worker pool size for pipeline stages (0 = all cores)")
+	snapDir := fs.String("snapshot-dir", "", "study snapshot directory for warm starts (loaded before building, written after)")
 	requestTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request deadline, study builds included")
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := fs.Duration("write-timeout", 90*time.Second, "HTTP server write timeout (must exceed a cold study build)")
@@ -57,6 +62,7 @@ func run(args []string) error {
 		Build:          studyBuilder(*workers),
 		CacheSize:      *cacheSize,
 		RequestTimeout: *requestTimeout,
+		SnapshotDir:    *snapDir,
 	})
 	if err != nil {
 		return err

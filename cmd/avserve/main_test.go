@@ -6,11 +6,13 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"avfda/internal/query"
 	"avfda/internal/serve"
+	"avfda/internal/snapshot"
 )
 
 // TestServeCalibratedStudy is the end-to-end acceptance check: a server
@@ -129,6 +131,74 @@ func TestIndexedEqualsScanOnCalibratedCorpus(t *testing.T) {
 		}
 		if !reflect.DeepEqual(indexed, scanned) {
 			t.Errorf("filter %+v: indexed %d rows != scanned %d rows", f, len(indexed), len(scanned))
+		}
+	}
+}
+
+// TestColdStartFromSnapshot pins the warm-start acceptance criterion: a
+// cold avserve process pointed at a populated -snapshot-dir serves the
+// seed's disengagements without ever invoking the pipeline builder — the
+// cache Builds counter stays 0 and the snapshot-load counter reads 1.
+func TestColdStartFromSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build in -short mode")
+	}
+	dir := t.TempDir()
+	study, err := studyBuilder(0)(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.WriteSeed(dir, 1, study.DB); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process: same builder wiring as run(), but instrumented so
+	// any pipeline build fails the test loudly.
+	var builds atomic.Int64
+	real := studyBuilder(0)
+	server, err := serve.New(serve.Config{
+		Build: func(seed int64) (*serve.Study, error) {
+			builds.Add(1)
+			return real(seed)
+		},
+		CacheSize:      2,
+		RequestTimeout: 2 * time.Minute,
+		SnapshotDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/studies/1/disengagements?mfr=Waymo&limit=5", nil)
+	rec := httptest.NewRecorder()
+	server.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("disengagements = %d (%s)", rec.Code, strings.TrimSpace(rec.Body.String()))
+	}
+	var page query.EventPage
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total == 0 || len(page.Events) != 5 {
+		t.Fatalf("snapshot-served Waymo page = total %d, events %d", page.Total, len(page.Events))
+	}
+
+	if n := builds.Load(); n != 0 {
+		t.Errorf("pipeline builder ran %d times on a warm start", n)
+	}
+	stats := server.CacheStats()
+	if stats.Builds != 0 || stats.SnapshotLoads != 1 {
+		t.Errorf("cache stats = %+v, want Builds 0 and SnapshotLoads 1", stats)
+	}
+
+	rec = httptest.NewRecorder()
+	server.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, want := range []string{
+		"avserve_snapshot_loads_total 1",
+		"avserve_cache_builds_total 0",
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
 		}
 	}
 }

@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// object mapping benchmark name to ns/op, for machine-readable benchmark
+// artifacts (the `make bench-json` target feeds it and CI uploads the
+// result as BENCH_<date>.json).
+//
+// Usage:
+//
+//	go test -bench ... | benchjson [-o BENCH_2026-08-05.json]
+//
+// Without -o the JSON goes to stdout. The GOMAXPROCS suffix go test
+// appends to benchmark names (e.g. BenchmarkSnapshotLoad-8) is stripped so
+// artifacts from machines with different core counts stay comparable. A
+// benchmark that appears more than once keeps its last measurement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+func main() {
+	out := flag.String("o", "", "write the JSON here instead of stdout")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err == nil && len(results) == 0 {
+		err = fmt.Errorf("no benchmark results on stdin")
+	}
+	if err == nil {
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, ferr := os.Create(*out)
+			if ferr != nil {
+				err = ferr
+			} else {
+				defer f.Close()
+				w = f
+			}
+		}
+		if err == nil {
+			err = write(w, results)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches one result row of `go test -bench` output:
+// name (with optional -GOMAXPROCS suffix), iteration count, ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse extracts name → ns/op pairs from benchmark output, passing through
+// everything that is not a result row (package headers, PASS/ok lines).
+func parse(r io.Reader) (map[string]float64, error) {
+	results := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		results[m[1]] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// write emits the results as indented JSON with sorted keys (Go's map
+// marshalling is sorted) and a trailing newline.
+func write(w io.Writer, results map[string]float64) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

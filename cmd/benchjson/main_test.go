@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: avfda/internal/snapshot
+cpu: some CPU @ 3.00GHz
+BenchmarkSnapshotLoad-8             	     166	   7106071 ns/op
+BenchmarkSnapshotPipelineRebuild-8  	       3	 411447130 ns/op
+BenchmarkSnapshotWrite              	     500	   2000000 ns/op
+BenchmarkFractional-16              	    1000	     123.4 ns/op	   2 B/op
+PASS
+ok  	avfda/internal/snapshot	5.1s
+`
+	got, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSnapshotLoad":            7106071,
+		"BenchmarkSnapshotPipelineRebuild": 411447130,
+		"BenchmarkSnapshotWrite":           2000000,
+		"BenchmarkFractional":              123.4,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	got, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %v from non-benchmark input", got)
+	}
+}
+
+func TestWriteSortedJSON(t *testing.T) {
+	var sb strings.Builder
+	err := write(&sb, map[string]float64{"BenchmarkB": 2, "BenchmarkA": 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"BenchmarkA\": 1.5,\n  \"BenchmarkB\": 2\n}\n"
+	if sb.String() != want {
+		t.Fatalf("write = %q, want %q", sb.String(), want)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"avfda/internal/core"
 	"avfda/internal/frame"
+	"avfda/internal/schema"
 )
 
 // Filter is one conjunctive query over the failure database: every
@@ -63,6 +64,25 @@ func (e *MonthError) Error() string {
 
 // Unwrap exposes the underlying parse error.
 func (e *MonthError) Unwrap() error { return e.Err }
+
+// ColumnError reports a query naming a column the engine does not have
+// (e.g. a group-by over a column absent from the frame). It mirrors
+// MonthError so transports can classify it as client input error with
+// errors.As instead of matching message text.
+type ColumnError struct {
+	// Column is the rejected column name.
+	Column string
+	// Err is the underlying frame-layer error.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *ColumnError) Error() string {
+	return fmt.Sprintf("group by %q: %v", e.Column, e.Err)
+}
+
+// Unwrap exposes the underlying frame error.
+func (e *ColumnError) Unwrap() error { return e.Err }
 
 // ParseMonthRange parses inclusive "YYYY-MM" month bounds into a concrete
 // [start, endExcl) time window. Empty strings leave the corresponding side
@@ -395,6 +415,59 @@ func (e *Engine) Events(f Filter, p Page) (EventPage, error) {
 	return page, nil
 }
 
+// AccidentPage is one page of matching accident reports plus the match
+// total.
+type AccidentPage struct {
+	Total     int               `json:"total"`
+	Offset    int               `json:"offset"`
+	Limit     int               `json:"limit"`
+	Accidents []schema.Accident `json:"accidents"`
+}
+
+// Accidents returns one page of the study's accident reports matching the
+// filter. Accident reports carry no tag/category/road/weather/modality
+// context, so only the Manufacturer, From, and To predicates apply; the
+// other filter fields are ignored. Pagination follows Events: negative
+// offsets clamp to 0, Limit <= 0 means unlimited, and an offset at or past
+// the total yields an empty (non-nil) page. Requires a database-backed
+// engine (New, not NewFromFrame).
+func (e *Engine) Accidents(f Filter, p Page) (AccidentPage, error) {
+	if e.db == nil {
+		return AccidentPage{}, errors.New("query: accidents need a database-backed engine (built with New)")
+	}
+	from, toExcl, err := f.monthRange()
+	if err != nil {
+		return AccidentPage{}, err
+	}
+	matched := make([]schema.Accident, 0, len(e.db.Accidents))
+	for _, a := range e.db.Accidents {
+		if !eqFold(string(a.Manufacturer), f.Manufacturer) {
+			continue
+		}
+		if !from.IsZero() && a.Time.Before(from) {
+			continue
+		}
+		if !toExcl.IsZero() && !a.Time.Before(toExcl) {
+			continue
+		}
+		matched = append(matched, a)
+	}
+	if p.Offset < 0 {
+		p.Offset = 0
+	}
+	page := AccidentPage{Total: len(matched), Offset: p.Offset, Limit: p.Limit}
+	start := p.Offset
+	if start > len(matched) {
+		start = len(matched)
+	}
+	end := len(matched)
+	if p.Limit > 0 && start+p.Limit < end {
+		end = start + p.Limit
+	}
+	page.Accidents = matched[start:end]
+	return page, nil
+}
+
 // Frame returns the matching rows as a dataframe (for CSV export and
 // frame-level post-processing).
 func (e *Engine) Frame(f Filter) (*frame.Frame, error) {
@@ -454,7 +527,7 @@ func (e *Engine) groupCountFrame(ids []int, by string) ([]GroupCount, error) {
 	}
 	groups, err := sub.GroupBy(by)
 	if err != nil {
-		return nil, fmt.Errorf("group by %q: %w", by, err)
+		return nil, &ColumnError{Column: by, Err: err}
 	}
 	counts := make(map[string]int, len(groups))
 	for _, g := range groups {

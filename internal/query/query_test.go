@@ -2,12 +2,17 @@ package query
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
+	"avfda/internal/core"
 	"avfda/internal/frame"
+	"avfda/internal/ontology"
+	"avfda/internal/schema"
 )
 
 // fixtureEngine builds a small five-row engine with known values.
@@ -363,5 +368,111 @@ func benchmarkSelect(b *testing.B, indexed bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// accidentsEngine builds a small database-backed engine with two accident
+// reports for the Accidents listing tests.
+func accidentsEngine(t *testing.T) *Engine {
+	t.Helper()
+	month := func(m int) time.Time { return time.Date(2015, time.Month(m), 4, 0, 0, 0, 0, time.UTC) }
+	db := &core.DB{
+		Events: []core.Event{
+			{Disengagement: schema.Disengagement{
+				Manufacturer: schema.Waymo, ReportYear: schema.Report2016,
+				Time: month(3), Cause: "software hang",
+			}, Tag: ontology.TagSoftware, Category: ontology.CategoryOf(ontology.TagSoftware)},
+		},
+		Accidents: []schema.Accident{
+			{Manufacturer: schema.Waymo, Vehicle: "W1", ReportYear: schema.Report2016,
+				Time: month(7), Location: "El Camino Real", AVSpeedMPH: 5, OtherSpeedMPH: 10,
+				InAutonomousMode: true},
+			{Manufacturer: schema.Bosch, Vehicle: "B1", ReportYear: schema.Report2016,
+				Time: month(9), Location: "First St", AVSpeedMPH: 2},
+		},
+	}
+	eng, err := New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestAccidents(t *testing.T) {
+	eng := accidentsEngine(t)
+	tests := []struct {
+		name          string
+		filter        Filter
+		page          Page
+		wantTotal     int
+		wantLocations []string
+	}{
+		{"all", Filter{}, Page{}, 2, []string{"El Camino Real", "First St"}},
+		{"manufacturer case-insensitive", Filter{Manufacturer: "bosch"}, Page{}, 1, []string{"First St"}},
+		{"month range", Filter{From: "2015-01", To: "2015-08"}, Page{}, 1, []string{"El Camino Real"}},
+		{"range excludes all", Filter{From: "2016-01"}, Page{}, 0, nil},
+		{"paginated", Filter{}, Page{Limit: 1}, 2, []string{"El Camino Real"}},
+		{"second page", Filter{}, Page{Offset: 1, Limit: 1}, 2, []string{"First St"}},
+		{"offset past total", Filter{}, Page{Offset: 9, Limit: 1}, 2, nil},
+		{"negative offset clamps", Filter{}, Page{Offset: -2, Limit: 1}, 2, []string{"El Camino Real"}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			page, err := eng.Accidents(tc.filter, tc.page)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if page.Total != tc.wantTotal {
+				t.Errorf("total = %d, want %d", page.Total, tc.wantTotal)
+			}
+			if page.Accidents == nil {
+				t.Fatal("Accidents slice is nil; want non-nil for JSON []")
+			}
+			var locs []string
+			for _, a := range page.Accidents {
+				locs = append(locs, a.Location)
+			}
+			if !reflect.DeepEqual(locs, tc.wantLocations) {
+				t.Errorf("locations = %v, want %v", locs, tc.wantLocations)
+			}
+		})
+	}
+}
+
+func TestAccidentsErrors(t *testing.T) {
+	eng := accidentsEngine(t)
+	_, err := eng.Accidents(Filter{From: "bogus"}, Page{})
+	var me *MonthError
+	if !errors.As(err, &me) {
+		t.Errorf("malformed month error = %v, want *MonthError", err)
+	}
+	if _, err := fixtureEngine(t).Accidents(Filter{}, Page{}); err == nil {
+		t.Error("frame-only engine Accidents: want error")
+	}
+}
+
+// TestColumnErrorTyped pins the unknown-column contract: the error is a
+// *ColumnError reachable with errors.As (transports classify on the type,
+// not the message), and the message still names the column for humans.
+func TestColumnErrorTyped(t *testing.T) {
+	eng := fixtureEngine(t)
+	_, err := eng.GroupCount(Filter{}, "bogus")
+	var ce *ColumnError
+	if !errors.As(err, &ce) {
+		t.Fatalf("GroupCount error = %v, want *ColumnError", err)
+	}
+	if ce.Column != "bogus" {
+		t.Errorf("ColumnError.Column = %q", ce.Column)
+	}
+	if ce.Unwrap() == nil {
+		t.Error("ColumnError.Unwrap() = nil")
+	}
+	if !strings.Contains(err.Error(), `group by "bogus"`) {
+		t.Errorf("error %q does not name the column", err)
+	}
+	// Wrapping must not break classification.
+	wrapped := fmt.Errorf("engine: %w", err)
+	if !errors.As(wrapped, &ce) {
+		t.Error("wrapped ColumnError not found by errors.As")
 	}
 }

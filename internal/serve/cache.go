@@ -4,10 +4,12 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"io/fs"
 	"sync"
 
 	"avfda/internal/core"
 	"avfda/internal/query"
+	"avfda/internal/snapshot"
 )
 
 // Study is one cached, fully built study: the consolidated failure
@@ -29,24 +31,45 @@ type CacheStats struct {
 	// Misses counts Gets that found no resident study (whether they
 	// started a build or joined one already in flight).
 	Misses int64
-	// Builds counts builds started (each coalesces any number of
-	// concurrent Gets for the same seed).
+	// Builds counts pipeline builds started (each coalesces any number of
+	// concurrent Gets for the same seed). A Get served from the snapshot
+	// tier does not count as a build.
 	Builds int64
 	// Evictions counts studies dropped to respect the capacity.
 	Evictions int64
+	// SnapshotLoads counts misses satisfied from the snapshot directory
+	// instead of a pipeline build.
+	SnapshotLoads int64
+	// SnapshotWrites counts snapshots written through after a successful
+	// pipeline build.
+	SnapshotWrites int64
+	// SnapshotRejects counts snapshot files that existed but were refused
+	// (version mismatch, checksum failure, truncation) and triggered a
+	// rebuild instead.
+	SnapshotRejects int64
 	// Resident is the number of studies currently cached.
 	Resident int
 }
 
-// Cache is a seed-keyed LRU of built studies. Concurrent Gets for an
-// absent seed are coalesced singleflight-style: exactly one build runs and
-// every waiter receives its result. A caller whose context expires stops
-// waiting, but the build keeps running and populates the cache for later
-// requests — abandoning a half-done pipeline run would only force the next
-// caller to pay for it again.
+// Cache is a seed-keyed LRU of built studies with an optional second tier:
+// a directory of persisted study snapshots. A miss first tries the
+// snapshot file for the seed — loading one is orders of magnitude cheaper
+// than a pipeline run — and only falls back to the pipeline build when the
+// snapshot is absent or rejected; a successful build is written through so
+// the next cold process (or post-eviction Get) warm-starts. Corrupt or
+// stale-version snapshots are never trusted: they fail the checksum or
+// version check in package snapshot, count as SnapshotRejects, and are
+// overwritten by the rebuild's write-through.
+//
+// Concurrent Gets for an absent seed are coalesced singleflight-style:
+// exactly one load-or-build runs and every waiter receives its result. A
+// caller whose context expires stops waiting, but the work keeps running
+// and populates the cache for later requests — abandoning a half-done
+// pipeline run would only force the next caller to pay for it again.
 type Cache struct {
-	build BuildFunc
-	cap   int
+	build   BuildFunc
+	cap     int
+	snapDir string // "" disables the snapshot tier
 
 	mu      sync.Mutex
 	order   *list.List              // of *cacheEntry, most recently used first
@@ -68,8 +91,15 @@ type flight struct {
 	err   error
 }
 
-// NewCache creates a cache holding at most capacity studies (minimum 1).
+// NewCache creates a cache holding at most capacity studies (minimum 1),
+// with the snapshot tier disabled.
 func NewCache(build BuildFunc, capacity int) (*Cache, error) {
+	return NewSnapshotCache(build, capacity, "")
+}
+
+// NewSnapshotCache creates a cache whose misses go through the snapshot
+// directory before the pipeline build. An empty dir disables the tier.
+func NewSnapshotCache(build BuildFunc, capacity int, dir string) (*Cache, error) {
 	if build == nil {
 		return nil, errors.New("serve: nil build function")
 	}
@@ -79,6 +109,7 @@ func NewCache(build BuildFunc, capacity int) (*Cache, error) {
 	return &Cache{
 		build:   build,
 		cap:     capacity,
+		snapDir: dir,
 		order:   list.New(),
 		entries: make(map[int64]*list.Element),
 		flights: make(map[int64]*flight),
@@ -102,7 +133,6 @@ func (c *Cache) Get(ctx context.Context, seed int64) (*Study, error) {
 	if !inFlight {
 		fl = &flight{done: make(chan struct{})}
 		c.flights[seed] = fl
-		c.stats.Builds++
 		go c.run(seed, fl)
 	}
 	c.mu.Unlock()
@@ -115,9 +145,9 @@ func (c *Cache) Get(ctx context.Context, seed int64) (*Study, error) {
 	}
 }
 
-// run executes one build and publishes its result.
+// run executes one load-or-build and publishes its result.
 func (c *Cache) run(seed int64, fl *flight) {
-	study, err := c.build(seed)
+	study, err := c.acquire(seed)
 	fl.study, fl.err = study, err
 
 	c.mu.Lock()
@@ -134,6 +164,60 @@ func (c *Cache) run(seed int64, fl *flight) {
 	}
 	c.mu.Unlock()
 	close(fl.done)
+}
+
+// acquire produces the study for one coalesced miss: snapshot tier first,
+// pipeline build second, with write-through after a successful build.
+func (c *Cache) acquire(seed int64) (*Study, error) {
+	if c.snapDir != "" {
+		study, err := c.loadSnapshot(seed)
+		switch {
+		case err == nil:
+			c.bump(&c.stats.SnapshotLoads)
+			return study, nil
+		case errors.Is(err, fs.ErrNotExist):
+			// Plain tier miss: nothing persisted for this seed yet.
+		default:
+			// Present but unusable (bad checksum, old version, truncated,
+			// or an engine rebuild failure): never trust it, rebuild.
+			c.bump(&c.stats.SnapshotRejects)
+		}
+	}
+	c.bump(&c.stats.Builds)
+	study, err := c.build(seed)
+	if err != nil {
+		return nil, err
+	}
+	if c.snapDir != "" && study != nil && study.DB != nil {
+		// Write-through replaces whatever was on disk (including a
+		// just-rejected file) via an atomic rename; a write failure only
+		// costs the next cold process a rebuild, so it is not fatal.
+		if err := snapshot.WriteSeed(c.snapDir, seed, study.DB); err == nil {
+			c.bump(&c.stats.SnapshotWrites)
+		}
+	}
+	return study, nil
+}
+
+// loadSnapshot reads the persisted database for seed and rebuilds its
+// query indexes, yielding a servable study.
+func (c *Cache) loadSnapshot(seed int64) (*Study, error) {
+	db, err := snapshot.ReadSeed(c.snapDir, seed)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := query.New(db)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{DB: db, Engine: engine}, nil
+}
+
+// bump increments one stats counter under the cache lock.
+func (c *Cache) bump(counter *int64) {
+	c.mu.Lock()
+	*counter++
+	c.mu.Unlock()
 }
 
 // Stats returns a snapshot of the cache counters.

@@ -113,8 +113,11 @@ func (m *Metrics) WriteText(w io.Writer, cache CacheStats) error {
 	}{
 		{"avserve_cache_hits_total", "Study cache hits.", cache.Hits},
 		{"avserve_cache_misses_total", "Study cache misses.", cache.Misses},
-		{"avserve_cache_builds_total", "Study builds started (singleflight-coalesced).", cache.Builds},
+		{"avserve_cache_builds_total", "Study pipeline builds started (singleflight-coalesced).", cache.Builds},
 		{"avserve_cache_evictions_total", "Studies evicted to respect capacity.", cache.Evictions},
+		{"avserve_snapshot_loads_total", "Cache misses served from the snapshot tier.", cache.SnapshotLoads},
+		{"avserve_snapshot_writes_total", "Snapshots written through after a build.", cache.SnapshotWrites},
+		{"avserve_snapshot_rejects_total", "Snapshot files rejected as corrupt or incompatible.", cache.SnapshotRejects},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
 	}

@@ -6,7 +6,11 @@
 // server keeps a seed-keyed LRU cache guarded by singleflight: the first
 // request for a seed builds the study exactly once no matter how many
 // requests race, later requests are answered from memory, and an evicted
-// study is simply rebuilt on next use. Every request runs under a
+// study is simply rebuilt on next use. With Config.SnapshotDir set the
+// cache gains a second tier: a miss first loads the seed's persisted
+// study snapshot (internal/snapshot) and only falls back to the pipeline
+// when none is usable, writing the built study through for the next cold
+// process. Every request runs under a
 // deadline (Config.RequestTimeout); a request that times out while its
 // study is still building returns 504 without cancelling the build, which
 // completes in the background and serves the retry. Request counts,
@@ -40,7 +44,6 @@ import (
 	"avfda/internal/core"
 	"avfda/internal/query"
 	"avfda/internal/report"
-	"avfda/internal/schema"
 )
 
 // Config parameterizes a Server.
@@ -49,6 +52,10 @@ type Config struct {
 	Build BuildFunc
 	// CacheSize bounds the number of resident studies; <= 0 means 4.
 	CacheSize int
+	// SnapshotDir, when non-empty, enables the cache's snapshot tier: a
+	// miss loads the seed's persisted study from this directory before
+	// falling back to Build, and successful builds are written through.
+	SnapshotDir string
 	// RequestTimeout bounds each request, including any study build it
 	// triggers; <= 0 means 60s.
 	RequestTimeout time.Duration
@@ -78,7 +85,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 60 * time.Second
 	}
-	cache, err := NewCache(cfg.Build, cfg.CacheSize)
+	cache, err := NewSnapshotCache(cfg.Build, cfg.CacheSize, cfg.SnapshotDir)
 	if err != nil {
 		return nil, err
 	}
@@ -191,27 +198,35 @@ func filterFromQuery(r *http.Request) query.Filter {
 	}
 }
 
-// pageFromQuery parses offset/limit with defaults and caps. A false
-// return means the error response is written.
+// pageFromQuery parses offset/limit with defaults and caps. An explicit
+// limit of 0 is rejected like any other malformed value — it used to be
+// silently promoted to MaxListLimit, handing the client asking for the
+// smallest page the largest one — and only an over-max limit is clamped.
+// A false return means the error response is written.
 func pageFromQuery(w http.ResponseWriter, r *http.Request) (query.Page, bool) {
 	p := query.Page{Limit: DefaultListLimit}
 	q := r.URL.Query()
 	for _, arg := range []struct {
 		name string
 		dst  *int
-	}{{"offset", &p.Offset}, {"limit", &p.Limit}} {
+		min  int
+		want string
+	}{
+		{"offset", &p.Offset, 0, "a non-negative integer"},
+		{"limit", &p.Limit, 1, "a positive integer"},
+	} {
 		raw := q.Get(arg.name)
 		if raw == "" {
 			continue
 		}
 		v, err := strconv.Atoi(raw)
-		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, "bad %s %q: want a non-negative integer", arg.name, raw)
+		if err != nil || v < arg.min {
+			writeError(w, http.StatusBadRequest, "bad %s %q: want %s", arg.name, raw, arg.want)
 			return query.Page{}, false
 		}
 		*arg.dst = v
 	}
-	if p.Limit <= 0 || p.Limit > MaxListLimit {
+	if p.Limit > MaxListLimit {
 		p.Limit = MaxListLimit
 	}
 	return p, true
@@ -246,15 +261,13 @@ func (s *Server) handleDisengagements(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// AccidentPage is one page of accident reports.
-type AccidentPage struct {
-	Total     int               `json:"total"`
-	Offset    int               `json:"offset"`
-	Limit     int               `json:"limit"`
-	Accidents []schema.Accident `json:"accidents"`
-}
+// AccidentPage is one page of accident reports, as produced by the shared
+// query engine (the avquery CLI serves the identical structure).
+type AccidentPage = query.AccidentPage
 
 // handleAccidents lists accident reports, filtered by mfr and month range.
+// The filtering lives in query.Engine.Accidents — one tested path shared
+// with the CLI — instead of being reimplemented inline here.
 func (s *Server) handleAccidents(w http.ResponseWriter, r *http.Request) {
 	study, ok := s.study(w, r)
 	if !ok {
@@ -265,35 +278,12 @@ func (s *Server) handleAccidents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	from, toExcl, err := query.ParseMonthRange(q.Get("from"), q.Get("to"))
+	f := query.Filter{Manufacturer: q.Get("mfr"), From: q.Get("from"), To: q.Get("to")}
+	res, err := study.Engine.Accidents(f, page)
 	if err != nil {
 		writeQueryError(w, err)
 		return
 	}
-	mfr := q.Get("mfr")
-	matched := make([]schema.Accident, 0, len(study.DB.Accidents))
-	for _, a := range study.DB.Accidents {
-		if mfr != "" && !strings.EqualFold(string(a.Manufacturer), mfr) {
-			continue
-		}
-		if !from.IsZero() && a.Time.Before(from) {
-			continue
-		}
-		if !toExcl.IsZero() && !a.Time.Before(toExcl) {
-			continue
-		}
-		matched = append(matched, a)
-	}
-	res := AccidentPage{Total: len(matched), Offset: page.Offset, Limit: page.Limit}
-	start := page.Offset
-	if start > len(matched) {
-		start = len(matched)
-	}
-	end := len(matched)
-	if start+page.Limit < end {
-		end = start + page.Limit
-	}
-	res.Accidents = matched[start:end]
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -382,14 +372,14 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeQueryError maps engine errors to status codes: malformed client
-// input (month bounds, unknown columns) is 400, the rest 500.
+// input — month bounds (*query.MonthError) and unknown columns
+// (*query.ColumnError) — is 400, the rest 500. Classification is by typed
+// error, never by message text, so rewording an error cannot silently turn
+// client mistakes into server faults.
 func writeQueryError(w http.ResponseWriter, err error) {
 	var me *query.MonthError
-	if errors.As(err, &me) {
-		writeError(w, http.StatusBadRequest, "%v", me)
-		return
-	}
-	if strings.Contains(err.Error(), "group by") || strings.Contains(err.Error(), "no column") {
+	var ce *query.ColumnError
+	if errors.As(err, &me) || errors.As(err, &ce) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

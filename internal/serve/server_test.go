@@ -3,10 +3,13 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,6 +20,7 @@ import (
 	"avfda/internal/ontology"
 	"avfda/internal/query"
 	"avfda/internal/schema"
+	"avfda/internal/snapshot"
 )
 
 // testDB hand-assembles a small failure database.
@@ -378,5 +382,228 @@ func TestGracefulShutdownDrains(t *testing.T) {
 func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("nil builder: want error")
+	}
+}
+
+// TestPaginationLimitBounds is the regression test for the limit
+// promotion bug: an explicit limit=0 used to be silently promoted to
+// MaxListLimit (1000), handing the client asking for the smallest page the
+// largest one. limit=0 is now a 400 like other bad values; only the
+// over-max case is clamped.
+func TestPaginationLimitBounds(t *testing.T) {
+	s := newTestServer(t, nil, 0, 0)
+
+	code, body := get(t, s, "/v1/studies/1/disengagements?limit=0")
+	if code != http.StatusBadRequest {
+		t.Errorf("limit=0 code = %d (%s), want 400", code, strings.TrimSpace(body))
+	}
+
+	var page query.EventPage
+	code, body = get(t, s, "/v1/studies/1/disengagements?limit=1000")
+	if code != http.StatusOK {
+		t.Fatalf("limit=1000 code = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Limit != MaxListLimit {
+		t.Errorf("limit=1000 echoed limit = %d, want %d", page.Limit, MaxListLimit)
+	}
+
+	code, body = get(t, s, "/v1/studies/1/disengagements?limit=1001")
+	if code != http.StatusOK {
+		t.Fatalf("limit=1001 code = %d, want 200 with clamped limit", code)
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Limit != MaxListLimit {
+		t.Errorf("limit=1001 clamped limit = %d, want %d", page.Limit, MaxListLimit)
+	}
+}
+
+// TestWriteQueryErrorClassifiesByType pins the 400-vs-500 contract on the
+// error's type, not its message: typed client errors (month bounds, unknown
+// columns) stay 400 even when wrapped or reworded; everything else is 500.
+func TestWriteQueryErrorClassifiesByType(t *testing.T) {
+	classify := func(err error) int {
+		rec := httptest.NewRecorder()
+		writeQueryError(rec, err)
+		return rec.Code
+	}
+	colErr := &query.ColumnError{Column: "bogus", Err: errors.New("whatever text")}
+	monErr := &query.MonthError{Field: "from", Value: "nope", Err: errors.New("parse")}
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{colErr, http.StatusBadRequest},
+		{monErr, http.StatusBadRequest},
+		{fmt.Errorf("engine: %w", colErr), http.StatusBadRequest},
+		{fmt.Errorf("engine: %w", monErr), http.StatusBadRequest},
+		// Message text that used to trip the substring matcher must not
+		// turn a server fault into a client error.
+		{errors.New(`frame corrupt near "group by" state, no column data`), http.StatusInternalServerError},
+		{errors.New("boom"), http.StatusInternalServerError},
+	} {
+		if got := classify(tc.err); got != tc.want {
+			t.Errorf("writeQueryError(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestAccidentsGolden pins the accidents handler's exact payload across the
+// refactor onto query.Engine.Accidents: same filtering, same pagination
+// echo, same JSON field order, byte for byte.
+func TestAccidentsGolden(t *testing.T) {
+	s := newTestServer(t, nil, 0, 0)
+	code, body := get(t, s, "/v1/studies/1/accidents")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	want := `{"total":2,"offset":0,"limit":50,"accidents":[` +
+		`{"manufacturer":"Waymo","vehicle":"W1","reportYear":1,"time":"2015-07-04T00:00:00Z",` +
+		`"location":"El Camino Real","narrative":"","avSpeedMPH":5,"otherSpeedMPH":10,` +
+		`"inAutonomousMode":true,"redacted":false},` +
+		`{"manufacturer":"Bosch","vehicle":"B1","reportYear":1,"time":"2015-09-04T00:00:00Z",` +
+		`"location":"First St","narrative":"","avSpeedMPH":2,"otherSpeedMPH":0,` +
+		`"inAutonomousMode":false,"redacted":false}]}` + "\n"
+	if body != want {
+		t.Errorf("accidents body:\n%q\nwant:\n%q", body, want)
+	}
+
+	// Filtered + paginated variant keeps the same envelope.
+	code, body = get(t, s, "/v1/studies/1/accidents?mfr=waymo&limit=1")
+	if code != http.StatusOK {
+		t.Fatalf("filtered code = %d", code)
+	}
+	want = `{"total":1,"offset":0,"limit":1,"accidents":[` +
+		`{"manufacturer":"Waymo","vehicle":"W1","reportYear":1,"time":"2015-07-04T00:00:00Z",` +
+		`"location":"El Camino Real","narrative":"","avSpeedMPH":5,"otherSpeedMPH":10,` +
+		`"inAutonomousMode":true,"redacted":false}]}` + "\n"
+	if body != want {
+		t.Errorf("filtered accidents body:\n%q\nwant:\n%q", body, want)
+	}
+}
+
+// TestSnapshotTierColdStart is the warm-start acceptance test: a cold
+// server whose snapshot directory already holds the seed's study serves it
+// without a single pipeline build.
+func TestSnapshotTierColdStart(t *testing.T) {
+	dir := t.TempDir()
+	if err := snapshot.WriteSeed(dir, 1, testDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	s, err := New(Config{Build: testBuilder(t, &calls, 0), CacheSize: 2, SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, s, "/v1/studies/1/disengagements?mfr=Waymo")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d (%s)", code, strings.TrimSpace(body))
+	}
+	var page query.EventPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 2 {
+		t.Errorf("snapshot-served page total = %d, want 2", page.Total)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("pipeline builds = %d, want 0 (snapshot tier)", calls.Load())
+	}
+	stats := s.CacheStats()
+	if stats.Builds != 0 || stats.SnapshotLoads != 1 {
+		t.Errorf("stats = %+v, want Builds 0, SnapshotLoads 1", stats)
+	}
+	code, body = get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics code = %d", code)
+	}
+	for _, want := range []string{
+		"avserve_snapshot_loads_total 1",
+		"avserve_snapshot_writes_total 0",
+		"avserve_snapshot_rejects_total 0",
+		"avserve_cache_builds_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestSnapshotWriteThrough: a miss with an empty snapshot directory builds
+// once and persists the study, so the next cold server loads it.
+func TestSnapshotWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	s, err := New(Config{Build: testBuilder(t, &calls, 0), CacheSize: 2, SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, s, "/v1/studies/1/disengagements"); code != http.StatusOK {
+		t.Fatalf("first request failed")
+	}
+	if stats := s.CacheStats(); stats.Builds != 1 || stats.SnapshotWrites != 1 || stats.SnapshotLoads != 0 {
+		t.Errorf("first server stats = %+v, want Builds 1, SnapshotWrites 1", stats)
+	}
+	if _, err := os.Stat(snapshot.Path(dir, 1)); err != nil {
+		t.Fatalf("write-through left no snapshot: %v", err)
+	}
+
+	// A second cold process over the same directory warm-starts.
+	var calls2 atomic.Int64
+	s2, err := New(Config{Build: testBuilder(t, &calls2, 0), CacheSize: 2, SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, s2, "/v1/studies/1/disengagements"); code != http.StatusOK {
+		t.Fatalf("second server request failed")
+	}
+	if calls2.Load() != 0 {
+		t.Errorf("second server pipeline builds = %d, want 0", calls2.Load())
+	}
+	if stats := s2.CacheStats(); stats.Builds != 0 || stats.SnapshotLoads != 1 {
+		t.Errorf("second server stats = %+v, want Builds 0, SnapshotLoads 1", stats)
+	}
+}
+
+// TestSnapshotCorruptRejected: a bit-flipped snapshot is refused by its
+// checksum, counted as a reject, rebuilt from the pipeline, and replaced
+// on disk by the write-through.
+func TestSnapshotCorruptRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := snapshot.Path(dir, 1)
+	if err := snapshot.WriteSeed(dir, 1, testDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	s, err := New(Config{Build: testBuilder(t, &calls, 0), CacheSize: 2, SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, s, "/v1/studies/1/disengagements"); code != http.StatusOK {
+		t.Fatalf("request over corrupt snapshot failed")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("pipeline builds = %d, want 1 (corrupt snapshot rebuilt)", calls.Load())
+	}
+	stats := s.CacheStats()
+	if stats.SnapshotRejects != 1 || stats.Builds != 1 || stats.SnapshotWrites != 1 || stats.SnapshotLoads != 0 {
+		t.Errorf("stats = %+v, want Rejects 1, Builds 1, Writes 1, Loads 0", stats)
+	}
+	// The rebuild's write-through replaced the corrupt file: load it back.
+	if _, err := snapshot.ReadSeed(dir, 1); err != nil {
+		t.Errorf("post-rebuild snapshot still unreadable: %v", err)
 	}
 }

@@ -1,0 +1,114 @@
+package snapshot
+
+import (
+	"testing"
+	"time"
+
+	"avfda/internal/core"
+	"avfda/internal/pipeline"
+	"avfda/internal/query"
+	"avfda/internal/synth"
+)
+
+// buildStudy runs the full Stage I-IV pipeline for a seed — the cost a
+// snapshot load avoids.
+func buildStudy(tb testing.TB, seed int64) *core.DB {
+	tb.Helper()
+	cfg := pipeline.DefaultConfig()
+	cfg.Synth = synth.Config{Seed: seed}
+	cfg.OCR.Seed = seed
+	res, err := pipeline.Run(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res.DB
+}
+
+// loadStudy is the warm-start path avserve's cache takes: read + verify the
+// snapshot, then rebuild the query indexes.
+func loadStudy(tb testing.TB, dir string, seed int64) *query.Engine {
+	tb.Helper()
+	db, err := ReadSeed(dir, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng, err := query.New(db)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkSnapshotLoad measures the warm-start path on the calibrated
+// seed-1 study: disk read, verification, decode, and query-index rebuild.
+// Compare against BenchmarkSnapshotPipelineRebuild — the acceptance bar is
+// a >= 10x advantage, pinned by TestSnapshotLoadSpeedup.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	dir := b.TempDir()
+	if err := WriteSeed(dir, 1, buildStudy(b, 1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loadStudy(b, dir, 1)
+	}
+}
+
+// BenchmarkSnapshotPipelineRebuild measures the cold path the snapshot
+// replaces: a full pipeline run plus index build for the same seed.
+func BenchmarkSnapshotPipelineRebuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		db := buildStudy(b, 1)
+		if _, err := query.New(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotWrite measures the export cost avpipe -snapshot-out and
+// the cache's write-through tier pay per study.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	db := buildStudy(b, 1)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteSeed(dir, 1, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotLoadSpeedup pins the performance contract that justifies the
+// snapshot tier: loading a snapshot must be at least 10x faster than
+// rebuilding the study through the pipeline. Both sides are measured in
+// this process on the calibrated seed-1 study.
+func TestSnapshotLoadSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build in -short mode")
+	}
+	dir := t.TempDir()
+
+	start := time.Now()
+	db := buildStudy(t, 1)
+	if _, err := query.New(db); err != nil {
+		t.Fatal(err)
+	}
+	rebuild := time.Since(start)
+
+	if err := WriteSeed(dir, 1, db); err != nil {
+		t.Fatal(err)
+	}
+	loadStudy(t, dir, 1) // warm the page cache so the timed loads are steady
+
+	const loads = 5
+	start = time.Now()
+	for i := 0; i < loads; i++ {
+		loadStudy(t, dir, 1)
+	}
+	load := time.Since(start) / loads
+
+	t.Logf("pipeline rebuild %v, snapshot load %v (%.0fx)", rebuild, load, float64(rebuild)/float64(load))
+	if load*10 > rebuild {
+		t.Errorf("snapshot load %v is not 10x faster than rebuild %v", load, rebuild)
+	}
+}

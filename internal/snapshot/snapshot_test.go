@@ -1,0 +1,383 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"avfda/internal/core"
+	"avfda/internal/ontology"
+	"avfda/internal/query"
+	"avfda/internal/schema"
+)
+
+// testDB builds a randomized but deterministic database: every field the
+// wire format carries is exercised, including empty strings, zero times,
+// negative floats, and both boolean values.
+func testDB(seed int64, nEvents, nAccidents int) *core.DB {
+	rng := rand.New(rand.NewSource(seed))
+	mfrs := []schema.Manufacturer{"Waymo", "Bosch", "Delphi", "Nissan", ""}
+	tags := ontology.AllTags()
+	base := time.Date(2014, 9, 1, 0, 0, 0, 0, time.UTC)
+
+	db := &core.DB{}
+	for i, m := range mfrs {
+		db.Fleets = append(db.Fleets, schema.Fleet{
+			Manufacturer: m,
+			ReportYear:   schema.ReportYear(1 + i%2),
+			Cars:         rng.Intn(60),
+		})
+		db.Mileage = append(db.Mileage, schema.MonthlyMileage{
+			Manufacturer: m,
+			Vehicle:      schema.VehicleID(fmt.Sprintf("V%03d", i)),
+			ReportYear:   schema.ReportYear(1 + i%2),
+			Month:        base.AddDate(0, i, 0),
+			Miles:        rng.Float64() * 10000,
+		})
+	}
+	for i := 0; i < nEvents; i++ {
+		tag := tags[rng.Intn(len(tags))]
+		db.Events = append(db.Events, core.Event{
+			Disengagement: schema.Disengagement{
+				Manufacturer:    mfrs[rng.Intn(len(mfrs))],
+				Vehicle:         schema.VehicleID(fmt.Sprintf("V%03d", rng.Intn(8))),
+				ReportYear:      schema.ReportYear(1 + rng.Intn(2)),
+				Time:            base.AddDate(0, rng.Intn(27), rng.Intn(28)),
+				Cause:           fmt.Sprintf("cause %d: sensor glitch é", i),
+				Modality:        schema.Modality(rng.Intn(4)),
+				Road:            schema.RoadType(rng.Intn(8)),
+				Weather:         schema.Weather(rng.Intn(5)),
+				ReactionSeconds: rng.Float64()*3 - 0.5,
+			},
+			Tag:      tag,
+			Category: ontology.CategoryOf(tag),
+		})
+	}
+	for i := 0; i < nAccidents; i++ {
+		db.Accidents = append(db.Accidents, schema.Accident{
+			Manufacturer:     mfrs[rng.Intn(len(mfrs))],
+			Vehicle:          schema.VehicleID(fmt.Sprintf("V%03d", rng.Intn(8))),
+			ReportYear:       schema.ReportYear(1 + rng.Intn(2)),
+			Time:             base.AddDate(0, rng.Intn(27), rng.Intn(28)),
+			Location:         fmt.Sprintf("El Camino Real & %dth", i),
+			Narrative:        "",
+			AVSpeedMPH:       float64(rng.Intn(40)),
+			OtherSpeedMPH:    rng.Float64() * 50,
+			InAutonomousMode: rng.Intn(2) == 0,
+			Redacted:         rng.Intn(3) == 0,
+		})
+	}
+	return db
+}
+
+// TestRoundTrip pins the core property: decode(encode(db)) reproduces the
+// database exactly, and re-encoding the decoded database is byte-identical.
+func TestRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42} {
+		db := testDB(seed, 200, 30)
+		data, err := Encode(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, db) {
+			t.Fatalf("seed %d: decoded database differs from original", seed)
+		}
+		again, err := Encode(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("seed %d: re-encoding the decoded database changed the bytes", seed)
+		}
+	}
+}
+
+// TestRoundTripEmpty covers the degenerate database: four zero counts.
+func TestRoundTripEmpty(t *testing.T) {
+	data, err := Encode(&core.DB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Fleets)+len(db.Mileage)+len(db.Events)+len(db.Accidents) != 0 {
+		t.Fatalf("empty database round-tripped to %+v", db)
+	}
+}
+
+// TestWriteReadRewrite is the on-disk half of the byte-identity property:
+// write → read → write again produces an identical file.
+func TestWriteReadRewrite(t *testing.T) {
+	dir := t.TempDir()
+	db := testDB(7, 120, 15)
+	if err := WriteSeed(dir, 7, db); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(Path(dir, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSeed(dir, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSeed(dir, 7, loaded); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(Path(dir, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("rewriting a loaded snapshot changed the file bytes")
+	}
+	// The atomic write must not leave staging files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != filepath.Base(Path(dir, 7)) {
+		t.Fatalf("snapshot dir left extra files: %v", entries)
+	}
+}
+
+// TestEngineEquivalenceAfterReload checks the property avserve's warm start
+// depends on: a query engine rebuilt from a loaded snapshot answers the
+// same randomized filters identically to an engine built on the original
+// in-memory database, and its indexed path still agrees with a full scan.
+func TestEngineEquivalenceAfterReload(t *testing.T) {
+	db := testDB(11, 400, 40)
+	data, err := Encode(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedDB, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := query.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := query.New(loadedDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	pick := func(opts ...string) string { return opts[rng.Intn(len(opts))] }
+	for i := 0; i < 100; i++ {
+		f := query.Filter{
+			Manufacturer: pick("", "Waymo", "bosch", "Delphi", "Nissan"),
+			Tag:          pick("", "Planner", "software", "Recognition System"),
+			Category:     pick("", "ML/Design", "system"),
+			Road:         pick("", "highway", "city street"),
+			Weather:      pick("", "raining", "sunny"),
+			Modality:     pick("", "manual", "automatic"),
+			From:         pick("", "2015-01", "2015-06"),
+			To:           pick("", "2015-12", "2016-06"),
+		}
+		page := query.Page{Offset: rng.Intn(20), Limit: 1 + rng.Intn(50)}
+
+		wantEv, err := fresh.Events(f, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEv, err := reloaded.Events(f, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantEv, gotEv) {
+			t.Fatalf("filter %+v: events diverge after reload", f)
+		}
+
+		wantAcc, err := fresh.Accidents(f, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAcc, err := reloaded.Accidents(f, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantAcc, gotAcc) {
+			t.Fatalf("filter %+v: accidents diverge after reload", f)
+		}
+
+		by := pick("tag", "category", "manufacturer", "month")
+		wantGr, err := fresh.GroupCount(f, by)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotGr, err := reloaded.GroupCount(f, by)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantGr, gotGr) {
+			t.Fatalf("filter %+v by %s: group counts diverge after reload", f, by)
+		}
+
+		indexed, err := reloaded.Select(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, err := reloaded.SelectScan(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(indexed, scanned) {
+			t.Fatalf("filter %+v: reloaded engine's index disagrees with scan", f)
+		}
+	}
+}
+
+// typedSnapshotError reports whether err is one of the package's typed
+// corruption errors — the contract callers classify on.
+func typedSnapshotError(err error) bool {
+	var fe *FormatError
+	var ve *VersionError
+	var ce *ChecksumError
+	return errors.As(err, &fe) || errors.As(err, &ve) || errors.As(err, &ce)
+}
+
+// TestTruncationRejected feeds every prefix of a valid snapshot to Decode;
+// all of them must fail with a typed error, never a panic or a silent
+// partial database.
+func TestTruncationRejected(t *testing.T) {
+	data, err := Encode(testDB(3, 40, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		db, err := Decode(data[:n])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded to %v", n, len(data), db)
+		}
+		if !typedSnapshotError(err) {
+			t.Fatalf("prefix of %d bytes: untyped error %v", n, err)
+		}
+	}
+}
+
+// TestBitFlipRejected flips every byte of a valid snapshot in turn; the
+// checksum (or header validation) must catch each one.
+func TestBitFlipRejected(t *testing.T) {
+	data, err := Encode(testDB(5, 40, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(data); i++ {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x40
+		db, err := Decode(mut)
+		if err == nil {
+			t.Fatalf("flip at byte %d decoded to %v", i, db)
+		}
+		if !typedSnapshotError(err) {
+			t.Fatalf("flip at byte %d: untyped error %v", i, err)
+		}
+	}
+}
+
+// TestTrailingBytesRejected appends garbage after a valid payload.
+func TestTrailingBytesRejected(t *testing.T) {
+	data, err := Encode(testDB(9, 10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fe *FormatError
+	if _, err := Decode(append(bytes.Clone(data), 0xFF)); !errors.As(err, &fe) {
+		t.Fatalf("trailing byte: got %v, want *FormatError", err)
+	}
+}
+
+// TestVersionRejected patches the header version; readers must refuse any
+// version other than their own, per the compatibility policy.
+func TestVersionRejected(t *testing.T) {
+	data, err := Encode(testDB(13, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := bytes.Clone(data)
+	binary.LittleEndian.PutUint16(mut[len(magic):], Version+1)
+	var ve *VersionError
+	if _, err := Decode(mut); !errors.As(err, &ve) {
+		t.Fatalf("got %v, want *VersionError", err)
+	} else if ve.Got != Version+1 || ve.Want != Version {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+}
+
+// TestChecksumRejected corrupts a payload byte and re-stamps the length so
+// only the checksum can catch it.
+func TestChecksumRejected(t *testing.T) {
+	data, err := Encode(testDB(17, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := bytes.Clone(data)
+	mut[len(mut)-1] ^= 1
+	var ce *ChecksumError
+	if _, err := Decode(mut); !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *ChecksumError", err)
+	} else if ce.Got == ce.Want {
+		t.Fatalf("ChecksumError digests match: %+v", ce)
+	}
+}
+
+// TestCorruptPayloadBehindValidChecksum re-seals a structurally invalid
+// payload with a correct checksum: the record decoder itself must reject
+// it (here, an out-of-range boolean byte).
+func TestCorruptPayloadBehindValidChecksum(t *testing.T) {
+	db := testDB(19, 0, 1)
+	data, err := Encode(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Clone(data[headerLen:])
+	payload[len(payload)-1] = 7 // Redacted flag: neither 0 nor 1
+	mut := data[:headerLen:headerLen]
+	sum := sha256.Sum256(payload)
+	copy(mut[len(magic)+10:], sum[:])
+	mut = append(mut, payload...)
+	var fe *FormatError
+	if _, err := Decode(mut); !errors.As(err, &fe) {
+		t.Fatalf("got %v, want *FormatError for invalid boolean", err)
+	}
+}
+
+// TestReadMissing maps a nonexistent file to fs.ErrNotExist so cache
+// layers can tell "no snapshot yet" from corruption.
+func TestReadMissing(t *testing.T) {
+	if _, err := ReadSeed(t.TempDir(), 404); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("got %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestEncodeNil rejects a nil database instead of writing an empty study.
+func TestEncodeNil(t *testing.T) {
+	if _, err := Encode(nil); err == nil {
+		t.Fatal("want error for nil database")
+	}
+}
+
+// TestPathShape pins the cross-binary file naming contract.
+func TestPathShape(t *testing.T) {
+	if got := Path("snaps", 42); got != filepath.Join("snaps", "study-42.avsnap") {
+		t.Fatalf("Path = %q", got)
+	}
+}
