@@ -2,12 +2,12 @@
 
 GO ?= go
 
-RACE_PKGS := ./internal/pipeline ./internal/parse ./internal/nlp ./internal/ocr ./internal/query ./internal/serve
 BENCH_SMOKE := PipelineEndToEnd|ParseConcurrent|ClassifyAll|Snapshot
 SERVE_ADDR ?= 127.0.0.1:18080
 BENCH_DATE := $(shell date +%F)
+FUZZ_TIME ?= 10s
 
-.PHONY: build vet test race bench bench-json fmt serve ci
+.PHONY: build vet test race lint fuzz bench bench-json fmt serve ci
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,21 @@ vet:
 test:
 	$(GO) test ./...
 
+# The race job covers every package: a hand-maintained list let newly added
+# concurrent packages silently escape race coverage.
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race ./...
+
+# Build the analyzer suite once, then run it over the whole repository.
+# See DESIGN.md system #21 for what each analyzer enforces.
+lint:
+	$(GO) build -o bin/avlint ./cmd/avlint
+	./bin/avlint ./...
+
+# Short fuzz smoke over the snapshot reader: arbitrary bytes must yield a
+# typed error or a valid DB, never a panic.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotRead$$' -fuzztime $(FUZZ_TIME) ./internal/snapshot
 
 bench:
 	$(GO) test -bench '$(BENCH_SMOKE)' -benchtime 1x -run '^$$' ./...
@@ -52,4 +65,4 @@ fmt:
 		echo "unformatted files:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 
-ci: build vet test race fmt bench
+ci: build vet test race lint fuzz fmt bench

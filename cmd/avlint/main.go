@@ -1,0 +1,114 @@
+// Command avlint runs the avfda analyzer suite (internal/lint) over Go
+// packages and reports violations of the toolkit's determinism and
+// typed-error invariants.
+//
+// Usage:
+//
+//	avlint [-disable name,name] [-list] [packages]
+//
+// With no package patterns it lints ./... from the current directory. Each
+// diagnostic prints as
+//
+//	path/file.go:line:col: [analyzer] message
+//
+// Exit status is 0 when the tree is clean, 1 when diagnostics were
+// reported, and 2 when loading or analysis itself failed. Per-line
+// suppression uses `//lint:allow <analyzer> <reason>` on the flagged line
+// or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"avfda/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main, factored for testing: it parses flags, selects analyzers,
+// lints, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("avlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	dir := fs.String("C", ".", "run as if started in this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "avlint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.LoadModule(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "avlint:", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "avlint:", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "avlint: %d violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers returns the suite minus the comma-separated disabled
+// names, erroring on names that do not exist so a typo cannot silently
+// disable nothing.
+func selectAnalyzers(disable string) ([]*lint.Analyzer, error) {
+	disabled := map[string]bool{}
+	if disable != "" {
+		names := strings.Split(disable, ",")
+		if _, err := lint.ByName(names); err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			disabled[n] = true
+		}
+	}
+	var out []*lint.Analyzer
+	for _, a := range lint.All() {
+		if !disabled[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("all analyzers disabled")
+	}
+	return out, nil
+}

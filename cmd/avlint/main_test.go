@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"avfda/internal/lint"
+)
+
+// repoRoot walks up from the working directory to the module root, so the
+// test can lint the real repository regardless of where go test runs it.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsLintClean is the suite's acceptance gate: the whole repository,
+// tests included, must produce zero diagnostics. A violation anywhere —
+// an unsorted map iteration in a determinism-critical package, an
+// err.Error() substring match, ambient randomness in a pipeline stage, a
+// non-exhaustive ontology switch — fails this test with the exact
+// file:line the offender lives at.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lints the whole repository; skipped in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", repoRoot(t), "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("avlint ./... exited %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestSelectAnalyzers pins the -disable semantics: named analyzers drop
+// out, typos are typed errors, and disabling everything is refused.
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(lint.All()) {
+		t.Fatalf("selectAnalyzers(\"\") = %d analyzers, err %v", len(all), err)
+	}
+
+	some, err := selectAnalyzers("mapiter,errsubstr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range some {
+		if a.Name == "mapiter" || a.Name == "errsubstr" {
+			t.Errorf("disabled analyzer %q still selected", a.Name)
+		}
+	}
+	if len(some) != len(all)-2 {
+		t.Errorf("selected %d analyzers, want %d", len(some), len(all)-2)
+	}
+
+	_, err = selectAnalyzers("mapiter,nosuch")
+	var ue *lint.UnknownAnalyzerError
+	if !errors.As(err, &ue) || ue.Name != "nosuch" {
+		t.Errorf("selectAnalyzers typo error = %v, want *UnknownAnalyzerError for %q", err, "nosuch")
+	}
+
+	var names []string
+	for _, a := range lint.All() {
+		names = append(names, a.Name)
+	}
+	if _, err := selectAnalyzers(strings.Join(names, ",")); err == nil {
+		t.Error("disabling every analyzer should be an error")
+	}
+}
+
+// TestListFlag pins that -list names every analyzer without linting.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing %q:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+// TestDisableTypoExitCode pins that an unknown -disable name is a usage
+// error (exit 2), not a silent no-op.
+func TestDisableTypoExitCode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-disable", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-disable nosuch exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,102 @@
+// Package analysistest runs lint analyzers over testdata fixtures and
+// checks their diagnostics against `// want "regexp"` comments, following
+// the golang.org/x/tools/go/analysis/analysistest conventions: fixtures
+// live under testdata/src/<importpath>, and every diagnostic must be
+// announced by a want comment on its line (and vice versa).
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"avfda/internal/lint"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// wantRx matches one quoted expectation in a want comment; both Go string
+// syntaxes are accepted, so fixtures can backquote regexps.
+var wantRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// commentRx matches a whole want comment.
+var commentRx = regexp.MustCompile("//\\s*want\\s+((?:\"|`).*)")
+
+// expectation is one want comment: a diagnostic matching rx must appear at
+// file:line.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package path under testdata/src, applies the
+// analyzer, and reports mismatches between diagnostics and want comments
+// through t.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := lint.LoadFixture(filepath.Join(testdata, "src"), paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := commentRx.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range wantRx.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// stringsMatchers are the strings-package functions whose use on an error
+// message constitutes substring classification.
+var stringsMatchers = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true, "Compare": true,
+}
+
+// ErrSubstr flags classification of errors by their rendered text:
+// strings.Contains/HasPrefix/HasSuffix/... over err.Error(), and ==/!=
+// comparisons of err.Error() against anything. Error text is presentation,
+// not identity — wrapping, rewording, or localizing a message silently
+// breaks every substring match, which is exactly the serving-layer bug PR 3
+// fixed. Classify with errors.Is (sentinels) or errors.As (typed errors
+// like *query.ColumnError) instead.
+//
+// Unlike the determinism analyzers this one runs on _test.go files too:
+// assertions are where the anti-pattern breeds, and the typed-error test
+// helpers make the right thing just as short.
+var ErrSubstr = &Analyzer{
+	Name: "errsubstr",
+	Doc: "flags strings.Contains/==/!= matching on err.Error(); classify errors " +
+		"with errors.Is/errors.As on sentinels or typed errors instead",
+	Run: runErrSubstr,
+}
+
+func runErrSubstr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if calleePkg(pass, n) != "strings" {
+					return true
+				}
+				sel := n.Fun.(*ast.SelectorExpr)
+				if !stringsMatchers[sel.Sel.Name] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if isErrErrorCall(pass, arg) {
+						pass.Reportf(n.Pos(), "strings.%s on err.Error(): error text is not an API; classify with errors.Is/errors.As on the typed error", sel.Sel.Name)
+						break
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isErrErrorCall(pass, n.X) || isErrErrorCall(pass, n.Y) {
+					pass.Reportf(n.Pos(), "comparing err.Error() with %s: error text is not an API; compare with errors.Is on a sentinel or errors.As on the typed error", n.Op)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrErrorCall reports whether e is a call of the Error() string method
+// on a value that implements the error interface.
+func isErrErrorCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	recv := pass.Info.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(recv, errIface) || types.Implements(types.NewPointer(recv), errIface)
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestErrSubstr drives the errsubstr analyzer over fixtures with flagged
+// patterns (strings.Contains/HasPrefix on err.Error(), ==/!= on the
+// rendered message — in regular and _test.go files) and accepted ones
+// (errors.Is on a sentinel, errors.As on a typed error, plain-string
+// matching).
+func TestErrSubstr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.ErrSubstr, "errsubstr/a")
+}

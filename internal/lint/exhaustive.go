@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// enumTypes are the closed enums a switch must cover exhaustively: the
+// fault-tag and failure-category ontology (Table III). The paper's headline
+// numbers are per-category roll-ups, so a category added to the ontology
+// must not silently fall through a classifier or report path.
+var enumTypes = map[[2]string]bool{
+	{"avfda/internal/ontology", "Tag"}:      true,
+	{"avfda/internal/ontology", "Category"}: true,
+}
+
+// ExhaustiveCategory flags a switch over ontology.Category or ontology.Tag
+// that neither covers every member of the enum nor declares a default
+// clause. Either is acceptable: full coverage makes the compiler-adjacent
+// intent explicit, a default names the fallback. Neither means a new
+// ontology member silently takes the zero path.
+var ExhaustiveCategory = &Analyzer{
+	Name: "exhaustive-category",
+	Doc: "flags switches over ontology.Tag/ontology.Category that lack both full case " +
+		"coverage and a default clause, so ontology growth cannot silently fall through",
+	Run: runExhaustiveCategory,
+}
+
+func runExhaustiveCategory(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := namedEnum(pass, sw.Tag)
+			if named == nil {
+				return true
+			}
+			missing, verifiable := missingMembers(pass, sw, named)
+			if verifiable && len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch over %s.%s is not exhaustive and has no default (missing %s): add the missing cases or a default so ontology growth cannot fall through",
+					named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// namedEnum returns the named type of e if it is one of the guarded enums.
+func namedEnum(pass *Pass, e ast.Expr) *types.Named {
+	t := pass.Info.TypeOf(e)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !enumTypes[[2]string{obj.Pkg().Path(), obj.Name()}] {
+		return nil
+	}
+	return named
+}
+
+// missingMembers compares the switch's constant case values against every
+// package-level constant of the enum's type. It reports verifiable=false
+// when the switch has a default clause (nothing to enforce) or a
+// non-constant case expression (coverage cannot be proven statically).
+func missingMembers(pass *Pass, sw *ast.SwitchStmt, named *types.Named) (missing []string, verifiable bool) {
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return nil, false // default clause
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return nil, false // non-constant case
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	scope := named.Obj().Pkg().Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, name)
+		}
+	}
+	return missing, true
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestExhaustiveCategory drives the exhaustive-category analyzer over a
+// fixture importing a stubbed avfda/internal/ontology: switches missing
+// enum members without a default are flagged; a default clause, full
+// coverage, or a non-guarded switch type are accepted.
+func TestExhaustiveCategory(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.ExhaustiveCategory, "exh/a")
+}

@@ -1,0 +1,322 @@
+// Package loading for avlint.
+//
+// The loader type-checks packages with the standard library only, which
+// forces an unusual but fully offline strategy:
+//
+//   - Standard-library imports resolve through compiled export data located
+//     by a single `go list -export -json std` invocation (the build cache
+//     serves it without network access).
+//   - In-module packages ("avfda/...") are type-checked from source,
+//     recursively and memoized, so analyzers see real types.Info for any
+//     dependency they care about (e.g. ontology.Category).
+//   - Analyzer test fixtures live under testdata/src/<importpath> — the
+//     go/analysis analysistest convention — and resolve fixture-root
+//     imports first, so a fixture can stub "avfda/internal/ontology".
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked unit of analysis.
+type Package struct {
+	// Path is the import path; external test packages get a "_test" suffix.
+	Path string
+	// Dir is the directory the package's files live in.
+	Dir string
+	// Fset, Files, Types, Info mirror the Pass fields documented in lint.go.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+}
+
+// loader resolves imports for one Load call. It is not safe for concurrent
+// use; avlint loads sequentially.
+type loader struct {
+	fset *token.FileSet
+	// fixtureRoot, when non-empty, is a GOPATH-style src directory whose
+	// packages shadow everything else (analysistest fixtures).
+	fixtureRoot string
+	// listed maps import paths to their go-list records for source
+	// type-checking of in-module dependencies.
+	listed map[string]listedPkg
+	// exports maps import paths to compiled export-data files.
+	exports map[string]string
+	// cache memoizes source-checked dependency packages.
+	cache map[string]*types.Package
+	gc    types.Importer
+}
+
+func newLoader(fixtureRoot string) (*loader, error) {
+	l := &loader{
+		fset:        token.NewFileSet(),
+		fixtureRoot: fixtureRoot,
+		listed:      map[string]listedPkg{},
+		exports:     map[string]string{},
+		cache:       map[string]*types.Package{},
+	}
+	out, err := exec.Command("go", "list", "-export", "-json=ImportPath,Export", "std").Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: listing stdlib export data: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	return l, nil
+}
+
+// Import implements types.Importer for dependency resolution during source
+// type-checking: fixture root first, then in-module source, then stdlib
+// export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if l.fixtureRoot != "" {
+		dir := filepath.Join(l.fixtureRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return l.checkDir(path, dir)
+		}
+	}
+	if lp, ok := l.listed[path]; ok && !lp.Standard {
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		return l.checkSource(path, files)
+	}
+	return l.gc.Import(path)
+}
+
+// checkDir source-checks every non-test .go file in dir as package path.
+func (l *loader) checkDir(path, dir string) (*types.Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return l.checkSource(path, files)
+}
+
+// checkSource type-checks files as the dependency package path, memoizing
+// the result.
+func (l *loader) checkSource(path string, files []string) (*types.Package, error) {
+	asts, err := l.parse(files)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, asts, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking dependency %s: %w", path, err)
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+func (l *loader) parse(files []string) ([]*ast.File, error) {
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	return asts, nil
+}
+
+// check type-checks a target package (with full types.Info) from the given
+// files.
+func (l *loader) check(path, dir string, files []string) (*Package, error) {
+	asts, err := l.parse(files)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: asts,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// LoadModule loads the packages matching the go-list patterns (typically
+// "./...") from the module rooted at or above dir, type-checking each
+// together with its in-package test files; external (_test package) test
+// files become a separate *Package with a "_test" path suffix.
+func LoadModule(dir string, patterns ...string) ([]*Package, error) {
+	l, err := newLoader("")
+	if err != nil {
+		return nil, err
+	}
+
+	// Targets: the packages the patterns name.
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	// Resolution set: every non-stdlib dependency reachable from the
+	// targets, including test-only dependencies (-deps -test). Test-variant
+	// entries ("pkg [pkg.test]", "pkg.test") are folded onto their base
+	// import path; the base entry wins when both appear.
+	deps, err := goList(dir, append([]string{"-deps", "-test", "-json=ImportPath,Dir,GoFiles,Standard"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range deps {
+		base, _, _ := strings.Cut(p.ImportPath, " ")
+		if strings.HasSuffix(base, ".test") {
+			continue
+		}
+		if _, ok := l.listed[base]; ok {
+			continue
+		}
+		p.ImportPath = base
+		l.listed[base] = p
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		files := make([]string, 0, len(t.GoFiles)+len(t.TestGoFiles))
+		for _, f := range append(append([]string{}, t.GoFiles...), t.TestGoFiles...) {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		if len(files) > 0 {
+			pkg, err := l.check(t.ImportPath, t.Dir, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		if len(t.XTestGoFiles) > 0 {
+			files = files[:0]
+			for _, f := range t.XTestGoFiles {
+				files = append(files, filepath.Join(t.Dir, f))
+			}
+			pkg, err := l.check(t.ImportPath+"_test", t.Dir, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadFixture loads analyzer test fixtures: each path is resolved as
+// root/<path> (the analysistest testdata/src convention), and imports
+// between fixture packages resolve under root before anything else.
+func LoadFixture(root string, paths ...string) ([]*Package, error) {
+	l, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixture %s: %w", path, err)
+		}
+		var files []string
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+		sort.Strings(files)
+		pkg, err := l.check(path, dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList runs `go list` in dir and decodes its JSON stream.
+func goList(dir string, args []string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestMapIter drives the mapiter analyzer over fixtures containing both
+// flagged patterns (writes and unsorted appends in map-iteration order
+// inside a determinism-critical package) and accepted ones (the sorted-keys
+// idiom, per-key appends, pure aggregation, a //lint:allow escape, and the
+// same code in a non-critical package).
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.MapIter,
+		"det/internal/core", "det/internal/mission")
+}

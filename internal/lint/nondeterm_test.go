@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestNonDeterm drives the nondeterm analyzer over fixtures with flagged
+// patterns (time.Now/Since and global math/rand draws in a pipeline-stage
+// package) and accepted ones (a *rand.Rand seeded explicitly, injected
+// timestamps, and ambient time outside the guarded packages).
+func TestNonDeterm(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.NonDeterm,
+		"nd/internal/synth", "nd/internal/ocr")
+}

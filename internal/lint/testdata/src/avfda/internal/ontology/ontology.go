@@ -1,0 +1,25 @@
+// Stub of avfda/internal/ontology for exhaustive-category fixtures: the
+// analyzer matches the enum by package path and type name, and the fixture
+// root shadows the real module, so this three-member version keeps the
+// fixtures small.
+package ontology
+
+// Tag is a fault tag.
+type Tag int
+
+// Stub tag members.
+const (
+	TagUnknownT Tag = iota + 1
+	TagEnvironment
+	TagSoftware
+)
+
+// Category is a root failure category.
+type Category int
+
+// Stub category members.
+const (
+	CategoryUnknownC Category = iota + 1
+	CategoryMLDesign
+	CategorySystem
+)

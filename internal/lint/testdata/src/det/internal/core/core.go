@@ -1,0 +1,78 @@
+// Fixture for the mapiter analyzer: the package path ends in
+// "internal/core", so it is determinism-critical.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FlagWrite writes output in map-iteration order.
+func FlagWrite(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m { // want `write to fmt.Fprintf inside .for range. over a map`
+		fmt.Fprintf(&sb, "%s=%d\n", k, v)
+	}
+	return sb.String()
+}
+
+// FlagUnsortedAppend accumulates keys in map-iteration order and never
+// sorts them.
+func FlagUnsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `"keys" is appended in map-iteration order and never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// OKSortedAppend is the sanctioned sortedKeys idiom: collect, sort, use.
+func OKSortedAppend(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OKSortSlice sorts through a closure; mentioning the slice inside the
+// less-func counts.
+func OKSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// OKPerKeyAppend appends into another map keyed by the loop variable: each
+// key is touched exactly once, so iteration order cannot leak.
+func OKPerKeyAppend(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// OKAggregates reads without making order observable.
+func OKAggregates(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// OKAllowed demonstrates the escape hatch.
+func OKAllowed(m map[string]int) string {
+	var sb strings.Builder
+	//lint:allow mapiter fixture demonstrates the suppression escape hatch
+	for k := range m {
+		sb.WriteString(k)
+	}
+	return sb.String()
+}

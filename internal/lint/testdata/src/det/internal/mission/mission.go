@@ -1,0 +1,18 @@
+// Fixture for the mapiter analyzer: "internal/mission" is not
+// determinism-critical, so the same pattern that is flagged in core is
+// accepted here.
+package mission
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NotCritical writes in map order but lives outside the guarded packages.
+func NotCritical(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&sb, "%s=%d\n", k, v)
+	}
+	return sb.String()
+}

@@ -1,0 +1,54 @@
+// Fixture for the errsubstr analyzer.
+package a
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrBoom is a sentinel for the sanctioned errors.Is path.
+var ErrBoom = errors.New("boom")
+
+// CodeError is a typed error for the sanctioned errors.As path.
+type CodeError struct{ Code int }
+
+func (e *CodeError) Error() string { return "code error" }
+
+// FlagContains classifies by message substring.
+func FlagContains(err error) bool {
+	return strings.Contains(err.Error(), "boom") // want `strings.Contains on err.Error\(\)`
+}
+
+// FlagPrefix classifies by message prefix.
+func FlagPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "snapshot:") // want `strings.HasPrefix on err.Error\(\)`
+}
+
+// FlagEqual compares the rendered message.
+func FlagEqual(err error) bool {
+	return err.Error() == "boom" // want `comparing err.Error\(\) with ==`
+}
+
+// FlagNotEqual compares the rendered message negatively.
+func FlagNotEqual(err error) bool {
+	return err.Error() != "boom" // want `comparing err.Error\(\) with !=`
+}
+
+// OKIs classifies with errors.Is.
+func OKIs(err error) bool {
+	return errors.Is(err, ErrBoom)
+}
+
+// OKAs classifies with errors.As.
+func OKAs(err error) (int, bool) {
+	var ce *CodeError
+	if errors.As(err, &ce) {
+		return ce.Code, true
+	}
+	return 0, false
+}
+
+// OKPlainString matches on a string that is not an error message.
+func OKPlainString(msg string) bool {
+	return strings.Contains(msg, "boom") && msg == "boom"
+}

@@ -1,0 +1,9 @@
+// errsubstr lints _test.go files too: assertion code is where the
+// substring anti-pattern breeds.
+package a
+
+import "strings"
+
+func assertBoom(err error) bool {
+	return strings.Contains(err.Error(), "boom") // want `strings.Contains on err.Error\(\)`
+}

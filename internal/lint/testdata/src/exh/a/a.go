@@ -1,0 +1,56 @@
+// Fixture for the exhaustive-category analyzer.
+package a
+
+import "avfda/internal/ontology"
+
+// FlagMissingCategory omits CategoryUnknownC and has no default.
+func FlagMissingCategory(c ontology.Category) string {
+	switch c { // want `switch over ontology.Category is not exhaustive and has no default \(missing CategoryUnknownC\)`
+	case ontology.CategoryMLDesign:
+		return "ml"
+	case ontology.CategorySystem:
+		return "sys"
+	}
+	return ""
+}
+
+// FlagMissingTags covers one tag of three.
+func FlagMissingTags(t ontology.Tag) bool {
+	switch t { // want `switch over ontology.Tag is not exhaustive and has no default \(missing TagSoftware, TagUnknownT\)`
+	case ontology.TagEnvironment:
+		return true
+	}
+	return false
+}
+
+// OKDefault names a fallback.
+func OKDefault(c ontology.Category) string {
+	switch c {
+	case ontology.CategoryMLDesign:
+		return "ml"
+	default:
+		return "other"
+	}
+}
+
+// OKExhaustive covers every member.
+func OKExhaustive(c ontology.Category) string {
+	switch c {
+	case ontology.CategoryMLDesign:
+		return "ml"
+	case ontology.CategorySystem:
+		return "sys"
+	case ontology.CategoryUnknownC:
+		return "unknown"
+	}
+	return ""
+}
+
+// OKOtherType is a switch over a non-guarded type.
+func OKOtherType(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+// Fixture for the nondeterm analyzer: "internal/ocr" is not a
+// pipeline-stage package in the guarded list, so ambient time is accepted
+// here.
+package ocr
+
+import "time"
+
+// NotStage reads the wall clock outside the guarded packages.
+func NotStage() time.Time {
+	return time.Now()
+}

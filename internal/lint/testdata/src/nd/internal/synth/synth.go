@@ -1,0 +1,40 @@
+// Fixture for the nondeterm analyzer: "internal/synth" is a pipeline-stage
+// package, so ambient time and the global rand source are banned.
+package synth
+
+import (
+	"math/rand"
+	"time"
+)
+
+// FlagNow reads the wall clock.
+func FlagNow() time.Time {
+	return time.Now() // want `time.Now in a pipeline-stage package`
+}
+
+// FlagSince derives a duration from the wall clock.
+func FlagSince(t time.Time) time.Duration {
+	return time.Since(t) // want `time.Since in a pipeline-stage package`
+}
+
+// FlagGlobalRand draws from the process-global source.
+func FlagGlobalRand() int {
+	return rand.Intn(10) // want `rand.Intn draws from the global source`
+}
+
+// FlagShuffle shuffles with the global source.
+func FlagShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the global source`
+}
+
+// OKSeeded derives every draw from an explicit seed: the sanctioned
+// pattern.
+func OKSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// OKInjectedTime takes its timestamp from the caller.
+func OKInjectedTime(now time.Time) time.Time {
+	return now.Add(time.Minute)
+}

@@ -467,6 +467,7 @@ func TestColumnErrorTyped(t *testing.T) {
 	if ce.Unwrap() == nil {
 		t.Error("ColumnError.Unwrap() = nil")
 	}
+	//lint:allow errsubstr this test pins the human-readable rendering of ColumnError.Error itself
 	if !strings.Contains(err.Error(), `group by "bogus"`) {
 		t.Errorf("error %q does not name the column", err)
 	}

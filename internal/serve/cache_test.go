@@ -10,6 +10,13 @@ import (
 	"time"
 )
 
+// buildErr is a typed build failure carrying which builder invocation
+// produced it, so tests can assert error freshness with errors.As instead
+// of matching message text.
+type buildErr struct{ call int64 }
+
+func (e *buildErr) Error() string { return fmt.Sprintf("boom %d", e.call) }
+
 // countingBuilder returns a BuildFunc that counts invocations and
 // optionally sleeps to widen race windows.
 func countingBuilder(calls *atomic.Int64, delay time.Duration) BuildFunc {
@@ -154,7 +161,7 @@ func TestCacheBuildErrorNotCached(t *testing.T) {
 	var calls atomic.Int64
 	c, err := NewCache(func(seed int64) (*Study, error) {
 		calls.Add(1)
-		return nil, fmt.Errorf("boom %d", calls.Load())
+		return nil, &buildErr{call: calls.Load()}
 	}, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -163,8 +170,10 @@ func TestCacheBuildErrorNotCached(t *testing.T) {
 	if _, err := c.Get(ctx, 1); err == nil {
 		t.Fatal("want build error")
 	}
-	if _, err := c.Get(ctx, 1); err == nil || err.Error() != "boom 2" {
-		t.Fatalf("second Get error = %v, want a fresh build attempt", err)
+	_, err = c.Get(ctx, 1)
+	var be *buildErr
+	if !errors.As(err, &be) || be.call != 2 {
+		t.Fatalf("second Get error = %v, want a fresh build attempt (call 2)", err)
 	}
 	if s := c.Stats(); s.Resident != 0 || s.Builds != 2 {
 		t.Errorf("stats = %+v", s)

@@ -1,0 +1,59 @@
+package snapshot
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSnapshotRead hardens the snapshot reader against arbitrary input:
+// whatever bytes land in the file, Read must either return a valid database
+// or one of the typed corruption errors (*FormatError, *VersionError,
+// *ChecksumError) — never panic, never hand back a database alongside an
+// error. The seed corpus covers the interesting boundary inputs from the
+// property tests: a fully valid snapshot, header and payload truncations,
+// single-bit flips in the version, checksum, and payload regions, and
+// trailing garbage.
+func FuzzSnapshotRead(f *testing.F) {
+	valid, err := Encode(testDB(7, 12, 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("AVFDSNAP"))             // bare magic, truncated header
+	f.Add(valid[:headerLen])              // header only, missing payload
+	f.Add(valid[:headerLen+len(valid)/4]) // mid-payload truncation
+	f.Add(append(bytes.Clone(valid), 0))  // trailing byte
+	for _, i := range []int{len(magic), len(magic) + 2, len(magic) + 10, headerLen, len(valid) - 1} {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.avsnap")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db, err := Read(path)
+		if err != nil {
+			if !typedSnapshotError(err) {
+				t.Fatalf("untyped error for %d-byte input: %v", len(data), err)
+			}
+			if db != nil {
+				t.Fatalf("Read returned both a database and error %v", err)
+			}
+			return
+		}
+		if db == nil {
+			t.Fatal("Read returned nil database and nil error")
+		}
+		// Whatever decoded must re-encode: a database accepted from the
+		// wire is a database the writer can represent.
+		if _, err := Encode(db); err != nil {
+			t.Fatalf("decoded database does not re-encode: %v", err)
+		}
+	})
+}
