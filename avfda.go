@@ -22,6 +22,7 @@
 package avfda
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -55,8 +56,16 @@ type Study struct {
 	res *pipeline.Result
 }
 
-// NewStudy generates the calibrated corpus and runs the full pipeline.
+// NewStudy generates the calibrated corpus and runs the full pipeline. It
+// is equivalent to NewStudyContext with a background context.
 func NewStudy(opts Options) (*Study, error) {
+	return NewStudyContext(context.Background(), opts)
+}
+
+// NewStudyContext is NewStudy under a caller-supplied context: cancelling
+// ctx aborts the pipeline between stages and inside the OCR fan-out, and
+// the returned error wraps ctx.Err().
+func NewStudyContext(ctx context.Context, opts Options) (*Study, error) {
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -70,7 +79,7 @@ func NewStudy(opts Options) (*Study, error) {
 		cfg.OCR = clean
 	}
 	cfg.ExpandDictionary = !opts.NoDictionaryExpansion
-	res, err := pipeline.Run(cfg)
+	res, err := pipeline.Run(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("avfda: %w", err)
 	}
@@ -84,7 +93,14 @@ func NewStudy(opts Options) (*Study, error) {
 // analyze real filings you have transcribed yourself. The corpus is
 // validated (study window, known manufacturers, non-negative miles) before
 // analysis; ground-truth accuracy metrics are unavailable for external data.
+// It is equivalent to NewStudyFromJSONContext with a background context.
 func NewStudyFromJSON(data []byte, opts Options) (*Study, error) {
+	return NewStudyFromJSONContext(context.Background(), data, opts)
+}
+
+// NewStudyFromJSONContext is NewStudyFromJSON under a caller-supplied
+// context, with the same cancellation semantics as NewStudyContext.
+func NewStudyFromJSONContext(ctx context.Context, data []byte, opts Options) (*Study, error) {
 	var corpus schema.Corpus
 	if err := json.Unmarshal(data, &corpus); err != nil {
 		return nil, fmt.Errorf("avfda: decode corpus: %w", err)
@@ -104,7 +120,7 @@ func NewStudyFromJSON(data []byte, opts Options) (*Study, error) {
 		cfg.OCR = clean
 	}
 	cfg.ExpandDictionary = !opts.NoDictionaryExpansion
-	res, err := pipeline.RunOnCorpus(cfg, &corpus)
+	res, err := pipeline.RunOnCorpus(ctx, cfg, &corpus)
 	if err != nil {
 		return nil, fmt.Errorf("avfda: %w", err)
 	}

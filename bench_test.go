@@ -402,7 +402,7 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Synth.Seed = int64(i + 1)
 		var err error
-		res, err = pipeline.Run(cfg)
+		res, err = pipeline.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -440,7 +440,7 @@ func BenchmarkPipelineScale(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					cfg.Synth.Seed = int64(i + 1)
-					res, err := pipeline.Run(cfg)
+					res, err := pipeline.Run(context.Background(), cfg)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -683,7 +683,7 @@ func BenchmarkAblationOCRNoise(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = pipeline.Run(cfg)
+				res, err = pipeline.Run(context.Background(), cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -712,7 +712,7 @@ func BenchmarkAblationExpansion(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var err error
-				res, err = pipeline.Run(cfg)
+				res, err = pipeline.Run(context.Background(), cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

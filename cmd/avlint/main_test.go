@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -103,5 +104,141 @@ func TestDisableTypoExitCode(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-disable", "nosuch"}, &stdout, &stderr); code != 2 {
 		t.Errorf("-disable nosuch exited %d, want 2", code)
+	}
+}
+
+// TestBrokenPackageExitsTwo pins the exit-code contract for load failures:
+// a package that does not type-check must exit 2 and surface the type
+// error on stderr — never be silently skipped as if it were clean.
+func TestBrokenPackageExitsTwo(t *testing.T) {
+	broken := filepath.Join(repoRoot(t), "cmd", "avlint", "testdata", "broken")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", broken, "./..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("broken fixture exited %d, want 2\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "broken") {
+		t.Errorf("stderr does not name the failing package:\n%s", stderr.String())
+	}
+}
+
+// TestJSONOutput pins the -json contract: exit 1 on findings, stdout is a
+// parseable array carrying file/line/analyzer/message for each.
+func TestJSONOutput(t *testing.T) {
+	dirty := filepath.Join(repoRoot(t), "cmd", "avlint", "testdata", "dirty")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dirty, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("dirty fixture exited %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "errsubstr" || !strings.HasSuffix(f.File, "dirty.go") || f.Line == 0 || f.Message == "" {
+		t.Errorf("finding fields wrong: %+v", f)
+	}
+}
+
+// TestJSONOutputCleanTree pins that a clean tree still emits a valid
+// (empty) JSON array, so CI consumers can always unmarshal stdout.
+func TestJSONOutputCleanTree(t *testing.T) {
+	// The dirty module is clean once its one offending analyzer is disabled.
+	dirty := filepath.Join(repoRoot(t), "cmd", "avlint", "testdata", "dirty")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dirty, "-json", "-disable", "errsubstr", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exited %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("got %d findings, want 0", len(findings))
+	}
+}
+
+// TestGHAOutput pins the -gha annotation format: one ::error workflow
+// command per finding, with file, line, and the analyzer in the title.
+func TestGHAOutput(t *testing.T) {
+	dirty := filepath.Join(repoRoot(t), "cmd", "avlint", "testdata", "dirty")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dirty, "-gha", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("dirty fixture exited %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "::error file=") {
+		t.Errorf("-gha output is not a workflow command:\n%s", out)
+	}
+	if !strings.Contains(out, "title=avlint errsubstr::") {
+		t.Errorf("-gha output missing analyzer title:\n%s", out)
+	}
+	if !strings.Contains(out, "line=") || !strings.Contains(out, "col=") {
+		t.Errorf("-gha output missing position properties:\n%s", out)
+	}
+}
+
+// TestEscapeWorkflowCommand pins the GitHub workflow-command escaping
+// rules for message data and property values.
+func TestEscapeWorkflowCommand(t *testing.T) {
+	if got := escapeData("50% done\r\nnext"); got != "50%25 done%0D%0Anext" {
+		t.Errorf("escapeData = %q", got)
+	}
+	if got := escapeProperty("a:b,c%d"); got != "a%3Ab%2Cc%25d" {
+		t.Errorf("escapeProperty = %q", got)
+	}
+}
+
+// TestSequentialMatchesParallel pins scheduling-independence: linting the
+// repository with a single worker and with the default pool must produce
+// byte-identical diagnostics (here: none, plus identical ordering
+// guarantees exercised by the dirty fixture's findings).
+func TestSequentialMatchesParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the repository twice; skipped in -short mode")
+	}
+	root := repoRoot(t)
+	analyzers := lint.All()
+
+	seqPkgs, err := lint.LoadModuleParallel(root, 1, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := lint.RunParallel(seqPkgs, analyzers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parPkgs, err := lint.LoadModuleParallel(root, 8, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := lint.RunParallel(parPkgs, analyzers, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(seqPkgs) != len(parPkgs) {
+		t.Fatalf("package counts differ: sequential %d, parallel %d", len(seqPkgs), len(parPkgs))
+	}
+	for i := range seqPkgs {
+		if seqPkgs[i].Path != parPkgs[i].Path {
+			t.Fatalf("package order differs at %d: %q vs %q", i, seqPkgs[i].Path, parPkgs[i].Path)
+		}
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("diagnostic counts differ: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("diagnostic %d differs:\n  sequential: %s\n  parallel:   %s", i, seq[i], par[i])
+		}
 	}
 }

@@ -1,0 +1,10 @@
+// Package broken fails to type-check on purpose: the avlint exit-code
+// regression test asserts that a package with a type error is reported as
+// exit status 2, never silently skipped.
+package broken
+
+// Mismatched assigns an untyped string to an int, which cannot compile.
+func Mismatched() int {
+	var x int = "not an int"
+	return x
+}

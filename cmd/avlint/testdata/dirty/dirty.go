@@ -1,0 +1,11 @@
+// Package dirty type-checks but carries one deliberate errsubstr violation,
+// so output-mode tests (-json, -gha) have a stable finding to assert on.
+package dirty
+
+import "strings"
+
+// IsTimeout classifies an error by its rendered text, the exact
+// anti-pattern errsubstr exists to flag.
+func IsTimeout(err error) bool {
+	return strings.Contains(err.Error(), "timeout")
+}

@@ -16,13 +16,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 
 	"avfda/internal/core"
 	"avfda/internal/nlp"
@@ -66,7 +69,12 @@ func run() error {
 	cfg.ExpandDictionary = !*noExpand
 	cfg.Workers = *workers
 
-	res, err := pipeline.Run(cfg)
+	// Ctrl-C / SIGTERM cancels the run between stages instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := pipeline.Run(ctx, cfg)
 	if err != nil {
 		return err
 	}

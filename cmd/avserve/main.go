@@ -111,7 +111,10 @@ func studyBuilder(workers int) serve.BuildFunc {
 		cfg.Synth = synth.Config{Seed: seed}
 		cfg.OCR.Seed = seed
 		cfg.Workers = workers
-		res, err := pipeline.Run(cfg)
+		// Builds are singleflight-shared across requests and outlive any one
+		// caller, so they deliberately run under the process root context,
+		// not a request's (see serve.BuildFunc).
+		res, err := pipeline.Run(context.Background(), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,537 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// build parses one function body and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// callsOnPaths runs the dataflow driver with a may-analysis that unions the
+// set of call names seen on any path to each block — both a driver test and
+// the easiest way to assert path structure.
+func callsOnPaths(g *Graph) map[*Block]map[string]bool {
+	return Forward(g, Flow[map[string]bool]{
+		Entry: map[string]bool{},
+		Transfer: func(n ast.Node, s map[string]bool) map[string]bool {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						s[id.Name] = true
+					}
+				}
+				_, lit := m.(*ast.FuncLit)
+				return !lit
+			})
+			return s
+		},
+		Join: func(a, b map[string]bool) map[string]bool {
+			out := map[string]bool{}
+			for k := range a {
+				out[k] = true
+			}
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(s map[string]bool) map[string]bool {
+			out := make(map[string]bool, len(s))
+			for k := range s {
+				out[k] = true
+			}
+			return out
+		},
+	})
+}
+
+func atExit(g *Graph, in map[*Block]map[string]bool) []string {
+	s, ok := in[g.Exit]
+	if !ok {
+		return nil
+	}
+	var names []string
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestIfElseDiamond(t *testing.T) {
+	g := build(t, `
+		a()
+		if cond() {
+			b()
+		} else {
+			c()
+		}
+		d()
+	`)
+	got := atExit(g, callsOnPaths(g))
+	want := []string{"a", "b", "c", "cond", "d"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("calls reaching exit = %v, want %v", got, want)
+	}
+	// Exit has exactly one predecessor: the join block after the if.
+	if len(g.Exit.Preds) != 1 {
+		t.Errorf("exit has %d preds, want 1 (the join block)", len(g.Exit.Preds))
+	}
+}
+
+func TestIfWithoutElseHasFallthroughEdge(t *testing.T) {
+	g := build(t, `
+		if cond() {
+			b()
+		}
+		d()
+	`)
+	// The condition block must branch both into the body and around it.
+	var cond *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "cond" {
+					cond = blk
+				}
+			}
+		}
+	}
+	if cond == nil {
+		t.Fatal("no block holds the cond() expression")
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2", len(cond.Succs))
+	}
+}
+
+func TestReturnSkipsRest(t *testing.T) {
+	g := build(t, `
+		if cond() {
+			return
+		}
+		d()
+	`)
+	in := callsOnPaths(g)
+	got := atExit(g, in)
+	// Both the early return (without d) and the fallthrough (with d) reach
+	// exit; the union holds all three calls.
+	want := []string{"cond", "d"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("calls reaching exit = %v, want %v", got, want)
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit has %d preds, want 2 (return + fall-off-end)", len(g.Exit.Preds))
+	}
+}
+
+func TestForLoopBackEdgeAndBreak(t *testing.T) {
+	g := build(t, `
+		for i := 0; i < n; i++ {
+			if stop() {
+				break
+			}
+			work()
+		}
+		after()
+	`)
+	got := atExit(g, callsOnPaths(g))
+	want := []string{"after", "stop", "work"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("calls reaching exit = %v, want %v", got, want)
+	}
+	// A loop needs a back edge: some block's successor list must contain a
+	// block with a smaller index.
+	hasBack := false
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if s.Index < blk.Index {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Error("for loop produced no back edge")
+	}
+}
+
+func TestInfiniteLoopWithoutBreakNeverReachesExit(t *testing.T) {
+	g := build(t, `
+		for {
+			work()
+		}
+	`)
+	if _, ok := callsOnPaths(g)[g.Exit]; ok {
+		t.Error("exit is reachable through an infinite loop with no break")
+	}
+}
+
+func TestInfiniteLoopWithBreakReachesExit(t *testing.T) {
+	g := build(t, `
+		for {
+			if stop() {
+				break
+			}
+		}
+		after()
+	`)
+	got := atExit(g, callsOnPaths(g))
+	want := []string{"after", "stop"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("calls reaching exit = %v, want %v", got, want)
+	}
+}
+
+func TestRangeLoopMayBeEmpty(t *testing.T) {
+	g := build(t, `
+		for _, v := range xs {
+			use(v)
+		}
+		after()
+	`)
+	in := callsOnPaths(g)
+	// The loop head must edge directly to the after-block (empty range), so
+	// there is a path to exit that calls after but never use. Check the
+	// after-block's own entry state can lack "use": its in-state is a union,
+	// so instead assert structurally that the head has >= 2 successors.
+	var head *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no block holds the RangeStmt")
+	}
+	if len(head.Succs) != 2 {
+		t.Errorf("range head has %d successors, want 2 (body + after)", len(head.Succs))
+	}
+	if got := atExit(g, in); fmt.Sprint(got) != fmt.Sprint([]string{"after", "use"}) {
+		t.Errorf("calls reaching exit = %v", got)
+	}
+}
+
+func TestSwitchFanOutNoDefault(t *testing.T) {
+	g := build(t, `
+		switch tag() {
+		case 1:
+			a()
+		case 2:
+			b()
+		}
+		after()
+	`)
+	got := atExit(g, callsOnPaths(g))
+	want := []string{"a", "after", "b", "tag"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("calls reaching exit = %v, want %v", got, want)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `
+		switch tag() {
+		case 1:
+			a()
+			fallthrough
+		case 2:
+			b()
+		default:
+			c()
+		}
+	`)
+	in := callsOnPaths(g)
+	// Some path reaches exit having called both a and b (the fallthrough
+	// chain); find the block holding b() and check a is in a predecessor
+	// path: the union at exit necessarily holds all of them, so instead
+	// assert the edge: the block with a() must have the block with b() as a
+	// successor.
+	var aBlk, bBlk *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			switch callName(n) {
+			case "a":
+				aBlk = blk
+			case "b":
+				bBlk = blk
+			}
+		}
+	}
+	if aBlk == nil || bBlk == nil {
+		t.Fatal("missing a()/b() blocks")
+	}
+	found := false
+	for _, s := range aBlk.Succs {
+		if s == bBlk {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallthrough produced no edge from case 1's block to case 2's block")
+	}
+	if _, ok := in[g.Exit]; !ok {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestSelectClausesBranch(t *testing.T) {
+	g := build(t, `
+		select {
+		case v := <-ch:
+			use(v)
+		case out <- 1:
+			b()
+		}
+		after()
+	`)
+	got := atExit(g, callsOnPaths(g))
+	want := []string{"after", "b", "use"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("calls reaching exit = %v, want %v", got, want)
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := build(t, `
+		select {}
+	`)
+	if _, ok := callsOnPaths(g)[g.Exit]; ok {
+		t.Error("exit reachable past select{}")
+	}
+}
+
+func TestDeferStaysInBlock(t *testing.T) {
+	g := build(t, `
+		defer cleanup()
+		work()
+	`)
+	deferCount := 0
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				deferCount++
+			}
+		}
+	}
+	if deferCount != 1 {
+		t.Errorf("graph holds %d DeferStmt nodes, want 1", deferCount)
+	}
+	got := atExit(g, callsOnPaths(g))
+	want := []string{"cleanup", "work"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("calls reaching exit = %v, want %v", got, want)
+	}
+}
+
+func TestPanicTerminatesWithoutExitEdge(t *testing.T) {
+	g := build(t, `
+		if bad() {
+			panic("boom")
+		}
+		ok()
+	`)
+	in := callsOnPaths(g)
+	got := atExit(g, in)
+	// The panic path never reaches exit, so every exit path called ok.
+	for _, name := range got {
+		if name == "panic" {
+			t.Error("panic path reaches exit")
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]string{"bad", "ok"}) {
+		t.Errorf("calls reaching exit = %v", got)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, `
+	again:
+		work()
+		if retry() {
+			goto again
+		}
+		done()
+	`)
+	got := atExit(g, callsOnPaths(g))
+	want := []string{"done", "retry", "work"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("calls reaching exit = %v, want %v", got, want)
+	}
+}
+
+func TestLabeledBreakLeavesOuterLoop(t *testing.T) {
+	g := build(t, `
+	outer:
+		for {
+			for {
+				if stop() {
+					break outer
+				}
+				inner()
+			}
+		}
+		after()
+	`)
+	got := atExit(g, callsOnPaths(g))
+	want := []string{"after", "inner", "stop"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("calls reaching exit = %v, want %v", got, want)
+	}
+}
+
+func TestUnreachableCodeGetsPredecessorlessBlock(t *testing.T) {
+	g := build(t, `
+		return
+		dead()
+	`)
+	in := callsOnPaths(g)
+	for blk, s := range in {
+		_ = blk
+		if s["dead"] {
+			t.Error("dead() appears on a reachable path")
+		}
+	}
+	// The dead block still exists in the graph for completeness.
+	found := false
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if callName(n) == "dead" {
+				found = true
+				if len(blk.Preds) != 0 {
+					t.Errorf("dead block has %d preds, want 0", len(blk.Preds))
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("dead() statement missing from the graph")
+	}
+}
+
+func TestEveryEdgeIsMirrored(t *testing.T) {
+	g := build(t, `
+		for i := 0; i < n; i++ {
+			switch mode() {
+			case 1:
+				if x() {
+					continue
+				}
+			default:
+				y()
+			}
+		}
+	`)
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if !contains(s.Preds, blk) {
+				t.Errorf("edge %d->%d missing mirror pred", blk.Index, s.Index)
+			}
+		}
+		for _, p := range blk.Preds {
+			if !contains(p.Succs, blk) {
+				t.Errorf("pred %d->%d missing mirror succ", p.Index, blk.Index)
+			}
+		}
+	}
+	// Reachability agrees between Succs walk and the dataflow result.
+	in := callsOnPaths(g)
+	for blk := range reachable(g) {
+		if _, ok := in[blk]; !ok {
+			t.Errorf("block %d reachable by Succs walk but unvisited by Forward", blk.Index)
+		}
+	}
+}
+
+// callName unwraps an ExprStmt-or-Expr node holding a plain f() call.
+func callName(n ast.Node) string {
+	if es, ok := n.(*ast.ExprStmt); ok {
+		n = es.X
+	}
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return id.Name
+}
+
+func contains(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGraphShapeStrings pins a few whole-graph shapes compactly.
+func TestGraphShapeStrings(t *testing.T) {
+	g := build(t, `
+		a()
+		if c {
+			b()
+		}
+	`)
+	var lines []string
+	for _, blk := range g.Blocks {
+		var succs []string
+		for _, s := range blk.Succs {
+			succs = append(succs, fmt.Sprint(s.Index))
+		}
+		lines = append(lines, fmt.Sprintf("%d->[%s]", blk.Index, strings.Join(succs, " ")))
+	}
+	// Entry(0): a(), c -> then(1), join(2); then -> join; join -> exit(3).
+	want := "0->[1 2] 1->[2] 2->[3] 3->[]"
+	if got := strings.Join(lines, " "); got != want {
+		t.Errorf("graph shape = %q, want %q", got, want)
+	}
+}

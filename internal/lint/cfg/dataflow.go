@@ -1,0 +1,62 @@
+package cfg
+
+import "go/ast"
+
+// Flow parameterizes a forward dataflow analysis over a Graph. S is the
+// per-program-point state (typically a small map or set); all callbacks
+// must treat their inputs as immutable and return fresh values when the
+// result differs.
+type Flow[S any] struct {
+	// Entry is the state on entry to Graph.Entry.
+	Entry S
+	// Transfer applies one block node's effect to the state.
+	Transfer func(n ast.Node, s S) S
+	// Join merges the states of two converging paths (a may-union or
+	// must-intersection, the analysis's choice).
+	Join func(a, b S) S
+	// Equal reports whether two states carry the same facts; it bounds the
+	// fixpoint iteration, so it must be a true equivalence.
+	Equal func(a, b S) bool
+	// Clone deep-copies a state so Transfer is free to mutate its working
+	// copy.
+	Clone func(S) S
+}
+
+// Forward computes the entry state of every reachable block by worklist
+// iteration to a fixpoint. Blocks unreachable from Entry are absent from
+// the result map — analyzers must skip them rather than assume a zero
+// state. Termination requires Transfer/Join to be monotone over a finite
+// state space (true for the set-shaped states the lint analyzers use).
+func Forward[S any](g *Graph, f Flow[S]) map[*Block]S {
+	in := map[*Block]S{g.Entry: f.Entry}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		out := f.Clone(in[blk])
+		for _, n := range blk.Nodes {
+			out = f.Transfer(n, out)
+		}
+		for _, succ := range blk.Succs {
+			prev, ok := in[succ]
+			var next S
+			if ok {
+				next = f.Join(prev, out)
+			} else {
+				next = f.Clone(out)
+			}
+			if ok && f.Equal(prev, next) {
+				continue
+			}
+			in[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

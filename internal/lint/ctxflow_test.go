@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestCtxFlow drives ctxflow over the scoped serve and pipeline fixtures
+// (Background/TODO discarding an in-scope ctx — including inside closures —
+// and roots minted at ctx-accepting call sites) plus an out-of-scope
+// package where process roots are legitimate.
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.CtxFlow,
+		"cflow/internal/serve", "cflow/internal/pipeline", "cflow/internal/other")
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestGoroLeak drives goroleak over a scoped fixture package (untethered
+// literal and named-call spawns flagged; WaitGroup, channel, context, and
+// tether-carrying-argument spawns accepted) and an out-of-scope package
+// where the same orphan spawn is not flagged.
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.GoroLeak,
+		"goro/internal/pipeline", "goro/internal/other")
+}

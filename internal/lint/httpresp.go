@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"avfda/internal/lint/cfg"
+)
+
+// HTTPResp checks every function that takes an http.ResponseWriter by
+// dataflow over its CFG, tracking what has already been written to the
+// response on each path:
+//
+//   - a second WriteHeader after a status is already committed (the
+//     "superfluous response.WriteHeader" runtime warning, promoted to a
+//     lint error);
+//   - any response write after an error response — the missing-`return`
+//     bug, where a handler writes a 4xx/5xx and falls through to the
+//     success path, corrupting the body;
+//   - WriteHeader after a body write, which is a silent no-op (the first
+//     body write committed a 200).
+//
+// Status writes are classified through constants: WriteHeader or a helper
+// receiving an int constant >= 400 is an error response, < 400 a success
+// header. Helpers that take the writer plus an error value (writeError-
+// style) count as error responses. Calls that pass the writer but match no
+// rule (sub-handlers, middleware next.ServeHTTP) are treated as opaque so
+// delegation is never flagged. Body writes after a non-error header are
+// the streaming idiom and accepted.
+var HTTPResp = &Analyzer{
+	Name: "httpresp",
+	Doc: "flags double WriteHeader, response writes after an error response (missing return), " +
+		"and WriteHeader after a body write in http.ResponseWriter functions",
+	Run: runHTTPResp,
+}
+
+// respState records, per path, the earliest position of each response-write
+// kind (token.NoPos when the kind has not happened).
+type respState struct {
+	header token.Pos // non-error WriteHeader
+	errorW token.Pos // error response (status >= 400 or error-arg helper)
+	full   token.Pos // complete non-error response (redirect, 2xx helper)
+	body   token.Pos // raw body write
+}
+
+// committed reports the earliest position at which any status was
+// committed, or NoPos.
+func (s respState) committed() token.Pos {
+	return minPos(minPos(s.header, s.errorW), minPos(s.full, s.body))
+}
+
+func minPos(a, b token.Pos) token.Pos {
+	if a == token.NoPos {
+		return b
+	}
+	if b == token.NoPos {
+		return a
+	}
+	if b < a {
+		return b
+	}
+	return a
+}
+
+func runHTTPResp(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		funcBodies(f, func(_ string, ft *ast.FuncType, body *ast.BlockStmt) {
+			if hasRespWriterParam(pass, ft) {
+				checkRespWrites(pass, body)
+			}
+		})
+	}
+	return nil
+}
+
+func hasRespWriterParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isResponseWriter(pass.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// respWrite classifies one call's effect on the response.
+type respWrite int
+
+const (
+	respNone   respWrite = iota
+	respHeader           // non-error status commit
+	respError            // error response
+	respFull             // complete non-error response
+	respBody             // raw body bytes
+)
+
+func checkRespWrites(pass *Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	flow := cfg.Flow[respState]{
+		Entry: respState{},
+		Transfer: func(n ast.Node, s respState) respState {
+			scanShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch classifyRespWrite(pass, call) {
+				case respHeader:
+					s.header = minPos(s.header, call.Pos())
+				case respError:
+					s.errorW = minPos(s.errorW, call.Pos())
+				case respFull:
+					s.full = minPos(s.full, call.Pos())
+				case respBody:
+					s.body = minPos(s.body, call.Pos())
+				}
+				return true
+			})
+			return s
+		},
+		Join: func(a, b respState) respState {
+			return respState{
+				header: minPos(a.header, b.header),
+				errorW: minPos(a.errorW, b.errorW),
+				full:   minPos(a.full, b.full),
+				body:   minPos(a.body, b.body),
+			}
+		},
+		Equal: func(a, b respState) bool { return a == b },
+		Clone: func(s respState) respState { return s },
+	}
+	in := cfg.Forward(g, flow)
+
+	// Replay: check each write against the state before it.
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	for _, blk := range g.Blocks {
+		s, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range blk.Nodes {
+			scanShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind := classifyRespWrite(pass, call)
+				if kind == respNone {
+					return true
+				}
+				line := func(p token.Pos) int { return pass.Fset.Position(p).Line }
+				switch kind {
+				case respHeader:
+					if p := s.committed(); p != token.NoPos {
+						if s.body != token.NoPos && s.header == token.NoPos && s.errorW == token.NoPos && s.full == token.NoPos {
+							report(call.Pos(), "WriteHeader after a body write (line %d) is a no-op; the first write committed the status", line(s.body))
+						} else {
+							report(call.Pos(), "duplicate WriteHeader: a status was already committed at line %d", line(p))
+						}
+					}
+				case respError, respFull:
+					if s.errorW != token.NoPos {
+						report(call.Pos(), "response written after an error response at line %d; missing `return` after the error write", line(s.errorW))
+					} else if s.full != token.NoPos {
+						report(call.Pos(), "second response written after the response at line %d; missing `return`", line(s.full))
+					}
+				case respBody:
+					if s.errorW != token.NoPos {
+						report(call.Pos(), "body write after an error response at line %d; missing `return` after the error write", line(s.errorW))
+					}
+				}
+				return true
+			})
+			s = flow.Transfer(n, s)
+		}
+	}
+}
+
+// classifyRespWrite maps a call to its response effect. Calls that mention
+// a ResponseWriter but match no rule are respNone (opaque delegation).
+func classifyRespWrite(pass *Pass, call *ast.CallExpr) respWrite {
+	// Methods on the writer itself.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isResponseWriter(pass.Info.TypeOf(sel.X)) {
+		switch sel.Sel.Name {
+		case "WriteHeader":
+			if len(call.Args) == 1 {
+				if code, isConst := constIntValue(pass, call.Args[0]); isConst && code >= 400 {
+					return respError
+				}
+			}
+			return respHeader
+		case "Write", "WriteString":
+			return respBody
+		}
+		return respNone
+	}
+	// net/http package helpers with well-known semantics.
+	switch calleePkg(pass, call) {
+	case "net/http":
+		switch call.Fun.(*ast.SelectorExpr).Sel.Name {
+		case "Error", "NotFound":
+			return respError
+		case "Redirect", "ServeContent", "ServeFile":
+			return respFull
+		}
+		return respNone
+	case "fmt":
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Fprint", "Fprintf", "Fprintln":
+				if len(call.Args) > 0 && isResponseWriter(pass.Info.TypeOf(call.Args[0])) {
+					return respBody
+				}
+			}
+		}
+		return respNone
+	case "io":
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "WriteString", "Copy":
+				if len(call.Args) > 0 && isResponseWriter(pass.Info.TypeOf(call.Args[0])) {
+					return respBody
+				}
+			}
+		}
+		return respNone
+	}
+	// writeError/writeJSON-style helpers: the writer plus a status constant
+	// or an error value.
+	passesWriter := false
+	for _, arg := range call.Args {
+		if isResponseWriter(pass.Info.TypeOf(arg)) {
+			passesWriter = true
+			break
+		}
+	}
+	if !passesWriter {
+		return respNone
+	}
+	for _, arg := range call.Args {
+		if code, isConst := constIntValue(pass, arg); isConst && code >= 100 && code < 600 {
+			if code >= 400 {
+				return respError
+			}
+			return respFull
+		}
+	}
+	for _, arg := range call.Args {
+		if isErrorValue(pass, arg) {
+			return respError
+		}
+	}
+	return respNone
+}
+
+// isErrorValue reports whether e's static type implements the error
+// interface.
+func isErrorValue(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface)
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestHTTPResp drives httpresp over handler fixtures: double WriteHeader,
+// writes after an error response (the missing-return bug), and WriteHeader
+// after a body write are flagged; guarded error paths, status-then-stream,
+// one-write-per-branch, and opaque delegation are accepted.
+func TestHTTPResp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.HTTPResp, "hresp/a")
+}

@@ -30,8 +30,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer describes one invariant check. It is stateless: Run is invoked
@@ -116,31 +118,56 @@ func (d Diagnostic) String() string {
 
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by file, line, column, and analyzer name — a
-// deterministic order regardless of analyzer scheduling.
+// deterministic order regardless of analyzer scheduling. Packages are
+// analyzed across GOMAXPROCS workers; use RunParallel to bound the pool.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunParallel(pkgs, analyzers, 0)
+}
+
+// RunParallel is Run with an explicit worker count; workers <= 0 selects
+// GOMAXPROCS. Scheduling cannot affect the result: per-package results are
+// collected by index (the first failing package in input order wins as the
+// returned error) and the final sort fixes the diagnostic order.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type pkgResult struct {
+		diags []Diagnostic
+		err   error
+	}
+	results := make([]pkgResult, len(pkgs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				diags, err := runPackage(pkgs[i], analyzers)
+				results[i] = pkgResult{diags, err}
+			}
+		}()
+	}
+	for i := range pkgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		allows := collectAllows(pkg)
-		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Path:     pkg.Path,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &pkgDiags,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
-			}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		for _, d := range pkgDiags {
-			if !allows.allowed(d) {
-				diags = append(diags, d)
-			}
-		}
+		diags = append(diags, r.diags...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -156,6 +183,34 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return a.Analyzer < b.Analyzer
 	})
 	return diags, nil
+}
+
+// runPackage applies the analyzers to one package and filters the
+// diagnostics through its //lint:allow directives.
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows := collectAllows(pkg)
+	var pkgDiags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &pkgDiags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	var out []Diagnostic
+	for _, d := range pkgDiags {
+		if !allows.allowed(d) {
+			out = append(out, d)
+		}
+	}
+	return out, nil
 }
 
 // allowKey identifies one (file, line, analyzer) suppression.
@@ -197,9 +252,14 @@ func (s allowSet) allowed(d Diagnostic) bool {
 	return s[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the generation-1
+// AST-level analyzers followed by the generation-2 flow-sensitive ones
+// built on internal/lint/cfg.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, ErrSubstr, NonDeterm, ExhaustiveCategory}
+	return []*Analyzer{
+		MapIter, ErrSubstr, NonDeterm, ExhaustiveCategory,
+		LockCheck, GoroLeak, CtxFlow, HTTPResp,
+	}
 }
 
 // UnknownAnalyzerError reports a name that resolves to no analyzer in the

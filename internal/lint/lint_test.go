@@ -11,8 +11,8 @@ import (
 // resolvable through ByName.
 func TestAllAnalyzers(t *testing.T) {
 	all := lint.All()
-	if len(all) < 4 {
-		t.Fatalf("suite has %d analyzers, want at least 4", len(all))
+	if len(all) < 8 {
+		t.Fatalf("suite has %d analyzers, want at least 8", len(all))
 	}
 	seen := map[string]bool{}
 	var names []string
@@ -26,7 +26,10 @@ func TestAllAnalyzers(t *testing.T) {
 		seen[a.Name] = true
 		names = append(names, a.Name)
 	}
-	for _, want := range []string{"mapiter", "errsubstr", "nondeterm", "exhaustive-category"} {
+	for _, want := range []string{
+		"mapiter", "errsubstr", "nondeterm", "exhaustive-category",
+		"lockcheck", "goroleak", "ctxflow", "httpresp",
+	} {
 		if !seen[want] {
 			t.Errorf("suite %v is missing %q", names, want)
 		}

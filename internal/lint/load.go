@@ -27,8 +27,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Package is one loaded, type-checked unit of analysis.
@@ -55,35 +57,16 @@ type listedPkg struct {
 	Standard     bool
 }
 
-// loader resolves imports for one Load call. It is not safe for concurrent
-// use; avlint loads sequentially.
-type loader struct {
-	fset *token.FileSet
-	// fixtureRoot, when non-empty, is a GOPATH-style src directory whose
-	// packages shadow everything else (analysistest fixtures).
-	fixtureRoot string
-	// listed maps import paths to their go-list records for source
-	// type-checking of in-module dependencies.
-	listed map[string]listedPkg
-	// exports maps import paths to compiled export-data files.
-	exports map[string]string
-	// cache memoizes source-checked dependency packages.
-	cache map[string]*types.Package
-	gc    types.Importer
-}
-
-func newLoader(fixtureRoot string) (*loader, error) {
-	l := &loader{
-		fset:        token.NewFileSet(),
-		fixtureRoot: fixtureRoot,
-		listed:      map[string]listedPkg{},
-		exports:     map[string]string{},
-		cache:       map[string]*types.Package{},
-	}
+// stdExports caches the stdlib export-data listing process-wide: `go list
+// -export -json std` costs a subprocess plus a full stdlib walk, and every
+// loader (one per LoadModule/LoadFixture call — the analyzer fixture tests
+// alone create dozens) needs the identical answer.
+var stdExports = sync.OnceValues(func() (map[string]string, error) {
 	out, err := exec.Command("go", "list", "-export", "-json=ImportPath,Export", "std").Output()
 	if err != nil {
 		return nil, fmt.Errorf("lint: listing stdlib export data: %w", err)
 	}
+	exports := map[string]string{}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listedPkg
@@ -93,8 +76,59 @@ func newLoader(fixtureRoot string) (*loader, error) {
 			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
 		}
 		if p.Export != "" {
-			l.exports[p.ImportPath] = p.Export
+			exports[p.ImportPath] = p.Export
 		}
+	}
+	return exports, nil
+})
+
+// importFlight is one in-progress or completed dependency resolution:
+// the first goroutine to request a path does the work, later requesters
+// wait on done and share the result.
+type importFlight struct {
+	done chan struct{}
+	pkg  *types.Package
+	err  error
+}
+
+// loader resolves imports for one Load call. Import is safe for concurrent
+// use: per-path flights deduplicate work, the token.FileSet is internally
+// synchronized, and the gc export-data importer (whose package map is not
+// thread-safe) is serialized behind gcMu.
+type loader struct {
+	fset *token.FileSet
+	// fixtureRoot, when non-empty, is a GOPATH-style src directory whose
+	// packages shadow everything else (analysistest fixtures).
+	fixtureRoot string
+	// listed maps import paths to their go-list records for source
+	// type-checking of in-module dependencies. Read-only after LoadModule's
+	// setup phase.
+	listed map[string]listedPkg
+	// exports maps import paths to compiled export-data files (shared,
+	// read-only, from stdExports).
+	exports map[string]string
+
+	// mu guards flights.
+	mu      sync.Mutex
+	flights map[string]*importFlight
+
+	// gcMu serializes the gc importer, which memoizes in an unsynchronized
+	// map.
+	gcMu sync.Mutex
+	gc   types.Importer
+}
+
+func newLoader(fixtureRoot string) (*loader, error) {
+	exports, err := stdExports()
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:        token.NewFileSet(),
+		fixtureRoot: fixtureRoot,
+		listed:      map[string]listedPkg{},
+		exports:     exports,
+		flights:     map[string]*importFlight{},
 	}
 	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
 		e, ok := l.exports[path]
@@ -108,11 +142,25 @@ func newLoader(fixtureRoot string) (*loader, error) {
 
 // Import implements types.Importer for dependency resolution during source
 // type-checking: fixture root first, then in-module source, then stdlib
-// export data.
+// export data. Concurrent imports of the same path coalesce onto one
+// flight.
 func (l *loader) Import(path string) (*types.Package, error) {
-	if p, ok := l.cache[path]; ok {
-		return p, nil
+	l.mu.Lock()
+	if fl, ok := l.flights[path]; ok {
+		l.mu.Unlock()
+		<-fl.done
+		return fl.pkg, fl.err
 	}
+	fl := &importFlight{done: make(chan struct{})}
+	l.flights[path] = fl
+	l.mu.Unlock()
+
+	fl.pkg, fl.err = l.importUncached(path)
+	close(fl.done)
+	return fl.pkg, fl.err
+}
+
+func (l *loader) importUncached(path string) (*types.Package, error) {
 	if l.fixtureRoot != "" {
 		dir := filepath.Join(l.fixtureRoot, filepath.FromSlash(path))
 		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
@@ -126,6 +174,8 @@ func (l *loader) Import(path string) (*types.Package, error) {
 		}
 		return l.checkSource(path, files)
 	}
+	l.gcMu.Lock()
+	defer l.gcMu.Unlock()
 	return l.gc.Import(path)
 }
 
@@ -147,8 +197,8 @@ func (l *loader) checkDir(path, dir string) (*types.Package, error) {
 	return l.checkSource(path, files)
 }
 
-// checkSource type-checks files as the dependency package path, memoizing
-// the result.
+// checkSource type-checks files as the dependency package path (memoization
+// happens at the flight layer in Import).
 func (l *loader) checkSource(path string, files []string) (*types.Package, error) {
 	asts, err := l.parse(files)
 	if err != nil {
@@ -159,7 +209,6 @@ func (l *loader) checkSource(path string, files []string) (*types.Package, error
 	if err != nil {
 		return nil, fmt.Errorf("type-checking dependency %s: %w", path, err)
 	}
-	l.cache[path] = pkg
 	return pkg, nil
 }
 
@@ -206,27 +255,48 @@ func (l *loader) check(path, dir string, files []string) (*Package, error) {
 // LoadModule loads the packages matching the go-list patterns (typically
 // "./...") from the module rooted at or above dir, type-checking each
 // together with its in-package test files; external (_test package) test
-// files become a separate *Package with a "_test" path suffix.
+// files become a separate *Package with a "_test" path suffix. Targets are
+// type-checked across GOMAXPROCS workers; use LoadModuleParallel to bound
+// the pool.
 func LoadModule(dir string, patterns ...string) ([]*Package, error) {
+	return LoadModuleParallel(dir, 0, patterns...)
+}
+
+// LoadModuleParallel is LoadModule with an explicit worker count for the
+// target type-checking pool; workers <= 0 selects GOMAXPROCS. Results are
+// in target order regardless of scheduling, and a target that fails to
+// type-check always surfaces as an error (the first such, in target order)
+// — never as a silently missing package.
+func LoadModuleParallel(dir string, workers int, patterns ...string) ([]*Package, error) {
 	l, err := newLoader("")
 	if err != nil {
 		return nil, err
 	}
 
+	// The two go-list invocations are independent; overlap them.
+	type listResult struct {
+		pkgs []listedPkg
+		err  error
+	}
+	depc := make(chan listResult, 1)
+	go func() {
+		// Resolution set: every non-stdlib dependency reachable from the
+		// targets, including test-only dependencies (-deps -test).
+		pkgs, err := goList(dir, append([]string{"-deps", "-test", "-json=ImportPath,Dir,GoFiles,Standard"}, patterns...))
+		depc <- listResult{pkgs, err}
+	}()
 	// Targets: the packages the patterns name.
 	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles"}, patterns...))
+	dep := <-depc
 	if err != nil {
 		return nil, err
 	}
-	// Resolution set: every non-stdlib dependency reachable from the
-	// targets, including test-only dependencies (-deps -test). Test-variant
-	// entries ("pkg [pkg.test]", "pkg.test") are folded onto their base
-	// import path; the base entry wins when both appear.
-	deps, err := goList(dir, append([]string{"-deps", "-test", "-json=ImportPath,Dir,GoFiles,Standard"}, patterns...))
-	if err != nil {
-		return nil, err
+	if dep.err != nil {
+		return nil, dep.err
 	}
-	for _, p := range deps {
+	// Test-variant entries ("pkg [pkg.test]", "pkg.test") are folded onto
+	// their base import path; the base entry wins when both appear.
+	for _, p := range dep.pkgs {
 		base, _, _ := strings.Cut(p.ImportPath, " ")
 		if strings.HasSuffix(base, ".test") {
 			continue
@@ -238,32 +308,78 @@ func LoadModule(dir string, patterns ...string) ([]*Package, error) {
 		l.listed[base] = p
 	}
 
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Fan the targets across the pool. results is indexed by target so the
+	// output order (and the choice of which error wins) is deterministic.
+	type targetResult struct {
+		pkgs []*Package
+		err  error
+	}
+	results := make([]targetResult, len(targets))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				pkgs, err := l.checkTarget(targets[i])
+				results[i] = targetResult{pkgs, err}
+			}
+		}()
+	}
+	for i := range targets {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
 	var pkgs []*Package
-	for _, t := range targets {
-		files := make([]string, 0, len(t.GoFiles)+len(t.TestGoFiles))
-		for _, f := range append(append([]string{}, t.GoFiles...), t.TestGoFiles...) {
-			files = append(files, filepath.Join(t.Dir, f))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		if len(files) > 0 {
-			pkg, err := l.check(t.ImportPath, t.Dir, files)
-			if err != nil {
-				return nil, err
-			}
-			pkgs = append(pkgs, pkg)
-		}
-		if len(t.XTestGoFiles) > 0 {
-			files = files[:0]
-			for _, f := range t.XTestGoFiles {
-				files = append(files, filepath.Join(t.Dir, f))
-			}
-			pkg, err := l.check(t.ImportPath+"_test", t.Dir, files)
-			if err != nil {
-				return nil, err
-			}
-			pkgs = append(pkgs, pkg)
-		}
+		pkgs = append(pkgs, r.pkgs...)
 	}
 	return pkgs, nil
+}
+
+// checkTarget type-checks one go-list target: the package with its
+// in-package test files, plus the external test package when present.
+func (l *loader) checkTarget(t listedPkg) ([]*Package, error) {
+	var out []*Package
+	files := make([]string, 0, len(t.GoFiles)+len(t.TestGoFiles))
+	for _, f := range append(append([]string{}, t.GoFiles...), t.TestGoFiles...) {
+		files = append(files, filepath.Join(t.Dir, f))
+	}
+	if len(files) > 0 {
+		pkg, err := l.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if len(t.XTestGoFiles) > 0 {
+		files = files[:0]
+		for _, f := range t.XTestGoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := l.check(t.ImportPath+"_test", t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
 }
 
 // LoadFixture loads analyzer test fixtures: each path is resolved as

@@ -1,0 +1,12 @@
+// Package other is outside ctxflow's scoped packages: process roots are
+// legitimate here (main-style wiring) and not flagged.
+package other
+
+import "context"
+
+func needsCtx(ctx context.Context) {}
+
+// Root would be flagged in internal/serve; this package is out of scope.
+func Root() {
+	needsCtx(context.Background())
+}

@@ -1,0 +1,17 @@
+// Package pipeline exercises ctxflow on the worker path.
+package pipeline
+
+import "context"
+
+func decodeAll(ctx context.Context, n int) error { return nil }
+
+// Run should accept and thread a context instead of minting a root at the
+// fan-out call.
+func Run(n int) error {
+	return decodeAll(context.Background(), n) // want "thread a context.Context parameter through decodeAll"
+}
+
+// RunCtx is the fixed shape.
+func RunCtx(ctx context.Context, n int) error {
+	return decodeAll(ctx, n)
+}

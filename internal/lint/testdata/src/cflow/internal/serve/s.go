@@ -1,0 +1,51 @@
+// Package serve exercises ctxflow on the request path: minting a root
+// context where one is already in scope is flagged; deriving from the
+// in-scope context is the accepted idiom.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func fetch(ctx context.Context, q string) error { return nil }
+
+// Handle has the request context one call away and discards it.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	_ = fetch(context.Background(), "q") // want "discards the in-scope context"
+}
+
+// HandleTODO: TODO is no better than Background.
+func HandleTODO(ctx context.Context) {
+	_ = fetch(context.TODO(), "q") // want "discards the in-scope context"
+}
+
+// Closure literals inherit the enclosing frame's context.
+func Closure(ctx context.Context) func() error {
+	return func() error {
+		return fetch(context.Background(), "q") // want "discards the in-scope context"
+	}
+}
+
+// Rebuild has no context of its own and mints one straight into a
+// ctx-accepting callee instead of taking a parameter.
+func Rebuild() error {
+	return fetch(context.Background(), "all") // want "thread a context.Context parameter through fetch"
+}
+
+// HandleDeadline derives its deadline from the request context.
+func HandleDeadline(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	_ = fetch(ctx, "q")
+}
+
+// Threaded passes the in-scope context down.
+func Threaded(ctx context.Context) error {
+	return fetch(ctx, "q")
+}
+
+// detached holds a process-scoped root: a deliberate lifecycle decision,
+// not a call-site drop, and not flagged.
+var detached = context.Background()

@@ -1,0 +1,9 @@
+// Package other is outside goroleak's scoped packages: the same untethered
+// spawn is not flagged here.
+package other
+
+// Orphan would be flagged in internal/pipeline; this package is out of
+// scope.
+func Orphan() {
+	go func() {}()
+}

@@ -1,0 +1,70 @@
+// Package pipeline exercises goroleak inside a scoped package path:
+// untethered spawns are flagged; WaitGroup, channel, context, and
+// tether-carrying-argument idioms are accepted.
+package pipeline
+
+import (
+	"context"
+	"sync"
+)
+
+func compute(i int) int { return i }
+
+// Orphan fires and forgets: nothing can await or cancel the goroutine.
+func Orphan() {
+	go func() { // want "no WaitGroup, channel, or context tether"
+		compute(1)
+	}()
+}
+
+type worker struct{ n int }
+
+func (w *worker) step() {}
+
+// OrphanCall spawns a named call whose receiver and arguments carry no
+// tether either.
+func OrphanCall(w *worker) {
+	go w.step() // want "no WaitGroup, channel, or context tether"
+}
+
+// Fan is the accepted WaitGroup idiom.
+func Fan(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			compute(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Results delivers on a channel the caller drains.
+func Results(n int) chan int {
+	out := make(chan int, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			out <- compute(i)
+		}
+		close(out)
+	}()
+	return out
+}
+
+// Watch is tethered through the context it selects on.
+func Watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// flight carries its tether as a field, the singleflight shape.
+type flight struct{ done chan struct{} }
+
+// Launch's tether arrives through the argument's type.
+func Launch(fl *flight) {
+	go runFlight(fl)
+}
+
+func runFlight(fl *flight) { close(fl.done) }

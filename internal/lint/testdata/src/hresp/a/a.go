@@ -1,0 +1,84 @@
+// Package a exercises httpresp: double WriteHeader, writes after an error
+// response (the missing-return bug), WriteHeader after a body write, and
+// the accepted guard/stream/delegate shapes.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// missingReturn falls through from the error path to the success write.
+func missingReturn(w http.ResponseWriter, r *http.Request, fail bool) {
+	if fail {
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}
+	writeJSON(w, http.StatusOK, "ok") // want "response written after an error response"
+}
+
+// doubleHeader commits the status twice.
+func doubleHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusNoContent) // want "duplicate WriteHeader"
+}
+
+// bodyAfterError keeps writing into a response already declared failed.
+func bodyAfterError(w http.ResponseWriter) {
+	http.Error(w, "bad request", http.StatusBadRequest)
+	fmt.Fprintln(w, "details") // want "body write after an error response"
+}
+
+// headerAfterBody is a silent no-op: the first body write committed a 200.
+func headerAfterBody(w http.ResponseWriter) {
+	fmt.Fprint(w, "hello")
+	w.WriteHeader(http.StatusAccepted) // want "WriteHeader after a body write"
+}
+
+// errorAfterError: a second error write means the first was not returned
+// from.
+func errorAfterError(w http.ResponseWriter, fail bool) {
+	if fail {
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}
+	http.Error(w, "not found", http.StatusNotFound) // want "response written after an error response"
+}
+
+// guarded is the accepted shape of missingReturn: error write, then return.
+func guarded(w http.ResponseWriter, fail bool) {
+	if fail {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, "ok")
+}
+
+// stream commits a status and then streams the body — not a duplicate.
+func stream(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "line 1")
+	fmt.Fprintln(w, "line 2")
+}
+
+// branchy writes exactly once per branch.
+func branchy(w http.ResponseWriter, ok bool) {
+	if ok {
+		writeJSON(w, http.StatusOK, "y")
+	} else {
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}
+}
+
+// delegate passes the writer to opaque sub-handlers; delegation is never
+// flagged.
+func delegate(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	next.ServeHTTP(w, r)
+	next.ServeHTTP(w, r)
+}
+
+// writeJSON is the helper the classifier sees at call sites; its own body
+// is the accepted status-then-body shape.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,165 @@
+// Package a exercises lockcheck: locks leaked on some path, blocking
+// operations inside critical sections, and the accepted release-first and
+// defer idioms.
+package a
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+var errFail = errors.New("fail")
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Leaky returns without unlocking on the error path.
+func (c *counter) Leaky(fail bool) error {
+	c.mu.Lock() // want "not released on every return path"
+	if fail {
+		return errFail
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// LeakyRead leaks the read lock the same way.
+func (c *counter) LeakyRead(fail bool) (int, error) {
+	c.rw.RLock() // want "not released on every return path"
+	if fail {
+		return 0, errFail
+	}
+	n := c.n
+	c.rw.RUnlock()
+	return n, nil
+}
+
+// SendLocked blocks on a channel send inside the critical section.
+func (c *counter) SendLocked(ch chan int) {
+	c.mu.Lock()
+	ch <- c.n // want "channel send while c.mu.Lock"
+	c.mu.Unlock()
+}
+
+// Render writes to an interface writer while holding the lock — the scrape
+// handler bug class.
+func (c *counter) Render(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(w, "n=%d\n", c.n) // want "I/O write via fmt.Fprintf while c.mu.Lock"
+}
+
+// WaitLocked calls a ctx-accepting (hence cancellable, hence potentially
+// slow) function under the lock.
+func (c *counter) WaitLocked(ctx context.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slowOp(ctx) // want "context-accepting function while c.mu.Lock"
+}
+
+// SleepLocked sleeps in the critical section.
+func (c *counter) SleepLocked() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while c.mu.Lock"
+	c.mu.Unlock()
+}
+
+// WaitGroupLocked waits for other goroutines while holding the lock.
+func (c *counter) WaitGroupLocked(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want "wg.Wait while c.mu.Lock"
+	c.mu.Unlock()
+}
+
+func slowOp(ctx context.Context) {}
+
+// RenderSnapshot is the accepted shape of Render: snapshot under the lock,
+// render outside it.
+func (c *counter) RenderSnapshot(w io.Writer) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	fmt.Fprintf(w, "n=%d\n", n)
+}
+
+// Balanced releases on every path.
+func (c *counter) Balanced(fail bool) error {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return errFail
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+// Deferred covers every path, early returns included.
+func (c *counter) Deferred(fail bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// Read uses the read lock with the deferred idiom.
+func (c *counter) Read() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.n
+}
+
+// TrySend never blocks: the select has a default clause.
+func (c *counter) TrySend(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- c.n:
+	default:
+	}
+}
+
+// Spawn's goroutine is its own frame; the parent holds no lock across the
+// spawn, and the literal's critical section is clean.
+func (c *counter) Spawn(ch chan int) {
+	go func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+		ch <- 1
+	}()
+}
+
+// box embeds the mutex; the promoted Lock/Unlock still resolve.
+type box struct {
+	sync.Mutex
+	v int
+}
+
+// Put is balanced through the promoted methods.
+func (b *box) Put(v int) {
+	b.Lock()
+	defer b.Unlock()
+	b.v = v
+}
+
+// PutLeaky leaks the promoted lock on the error path.
+func (b *box) PutLeaky(v int, fail bool) error {
+	b.Lock() // want "not released on every return path"
+	if fail {
+		return errFail
+	}
+	b.v = v
+	b.Unlock()
+	return nil
+}

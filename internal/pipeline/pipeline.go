@@ -221,14 +221,18 @@ type Result struct {
 // Run executes the full pipeline. Result.Elapsed is the sum of the stage
 // timings, Stage I included; the accuracy scoring against the planted
 // ground truth is diagnostics, not a pipeline stage, and is not counted.
-func Run(cfg Config) (*Result, error) {
+//
+// Cancelling ctx stops the run between stages and inside the concurrent
+// OCR fan-out; the error then wraps ctx.Err() so callers can classify it
+// with errors.Is(err, context.Canceled).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	mark := time.Now()
 	truth, err := synth.Generate(cfg.Synth)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stage I: %w", err)
 	}
 	synthElapsed := time.Since(mark)
-	res, err := RunOnCorpus(cfg, &truth.Corpus)
+	res, err := RunOnCorpus(ctx, cfg, &truth.Corpus)
 	if err != nil {
 		return nil, err
 	}
@@ -243,8 +247,9 @@ func Run(cfg Config) (*Result, error) {
 // renders the corpus to documents, digitizes, parses, classifies, and
 // consolidates. Use this entry point for real (non-synthetic) data that
 // has already been transcribed into schema form. Result.Elapsed is the sum
-// of the Stage II-IV timings (Stages.Synth stays zero).
-func RunOnCorpus(cfg Config, corpus *schema.Corpus) (*Result, error) {
+// of the Stage II-IV timings (Stages.Synth stays zero). The context governs
+// the whole run as in Run.
+func RunOnCorpus(ctx context.Context, cfg Config, corpus *schema.Corpus) (*Result, error) {
 	var st StageTimings
 	mark := time.Now()
 	docs := scandoc.Render(corpus)
@@ -257,7 +262,7 @@ func RunOnCorpus(cfg Config, corpus *schema.Corpus) (*Result, error) {
 	// Per-document noise derivation makes parallel decoding byte-identical
 	// to sequential, so digitization fans out across cores.
 	mark = time.Now()
-	decoded, err := engine.DecodeAllConcurrent(context.Background(), docs, cfg.Workers)
+	decoded, err := engine.DecodeAllConcurrent(ctx, docs, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: stage II (ocr): %w", err)
 	}
@@ -279,6 +284,9 @@ func RunOnCorpus(cfg Config, corpus *schema.Corpus) (*Result, error) {
 	}
 	st.OCR = time.Since(mark)
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: cancelled before stage II (parse): %w", err)
+	}
 	mark = time.Now()
 	recovered, parseReport, err := parse.ParseConcurrent(inputs, cfg.Workers)
 	if err != nil {
@@ -286,6 +294,9 @@ func RunOnCorpus(cfg Config, corpus *schema.Corpus) (*Result, error) {
 	}
 	st.Parse = time.Since(mark)
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: cancelled before stage III: %w", err)
+	}
 	causes := make([]string, len(recovered.Disengagements))
 	for i, d := range recovered.Disengagements {
 		causes[i] = d.Cause
@@ -312,6 +323,9 @@ func RunOnCorpus(cfg Config, corpus *schema.Corpus) (*Result, error) {
 	}
 	st.Classify = time.Since(mark)
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: cancelled before stage IV: %w", err)
+	}
 	mark = time.Now()
 	db, err := core.BuildWithTags(recovered, tags)
 	if err != nil {

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"math"
 	"reflect"
 	"runtime"
@@ -17,7 +19,7 @@ var cached *Result
 func run(t *testing.T) *Result {
 	t.Helper()
 	if cached == nil {
-		res, err := Run(DefaultConfig())
+		res, err := Run(context.Background(), DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +163,7 @@ func TestCleanPipelineIsLossless(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.OCR = ocr.Clean()
 	cfg.Synth.Seed = 5
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +182,7 @@ func TestNoExpansionStillWorks(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ExpandDictionary = false
 	cfg.OCR = ocr.Clean()
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +208,7 @@ func TestRunOnCorpusDirect(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.OCR = ocr.Clean()
 	cfg.ExpandDictionary = false
-	res, err := RunOnCorpus(cfg, corpus)
+	res, err := RunOnCorpus(context.Background(), cfg, corpus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +232,7 @@ func TestHeadlineStableAcrossSeeds(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Synth.Seed = seed
 		cfg.OCR.Seed = seed
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +253,7 @@ func TestConcurrentPipelineMatchesSequential(t *testing.T) {
 	base.Synth.Seed = 21
 	seqCfg := base
 	seqCfg.Workers = 1
-	want, err := Run(seqCfg)
+	want, err := Run(context.Background(), seqCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +264,7 @@ func TestConcurrentPipelineMatchesSequential(t *testing.T) {
 	for _, workers := range counts {
 		parCfg := base
 		parCfg.Workers = workers
-		got, err := Run(parCfg)
+		got, err := Run(context.Background(), parCfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -309,7 +311,7 @@ func TestElapsedIsSumOfStages(t *testing.T) {
 		}
 	}
 
-	roc, err := RunOnCorpus(DefaultConfig(), &res.Truth.Corpus)
+	roc, err := RunOnCorpus(context.Background(), DefaultConfig(), &res.Truth.Corpus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +326,30 @@ func TestElapsedIsSumOfStages(t *testing.T) {
 func TestBadOCRConfigSurfaces(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.OCR.SubstitutionRate = 2
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Error("invalid OCR config: want error")
+	}
+}
+
+// TestRunHonorsCancellation pins the context threading: a cancelled context
+// aborts the run and the error classifies with errors.Is, not message
+// matching.
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, DefaultConfig())
+	if err == nil {
+		t.Fatal("Run with a cancelled context: want error, got nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+
+	_, err = RunOnCorpus(ctx, DefaultConfig(), &schema.Corpus{})
+	if err == nil {
+		t.Fatal("RunOnCorpus with a cancelled context: want error, got nil")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("RunOnCorpus err = %v, want errors.Is(err, context.Canceled)", err)
 	}
 }

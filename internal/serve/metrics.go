@@ -66,14 +66,31 @@ func (m *Metrics) Observe(route string, code int, seconds float64) {
 
 // WriteText renders every series, plus the given cache counters, in
 // Prometheus text format with deterministic ordering.
+//
+// The counters are snapshotted under the lock and rendered outside it: w is
+// usually a network connection, and holding m.mu across its writes would
+// let one slow scrape client stall every request's Observe (the
+// lock-across-I/O class lockcheck enforces).
 func (m *Metrics) WriteText(w io.Writer, cache CacheStats) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	requests := make(map[requestKey]int64, len(m.requests))
+	for k, v := range m.requests {
+		requests[k] = v
+	}
+	latency := make(map[string]*histogram, len(m.latency))
+	for r, h := range m.latency {
+		latency[r] = &histogram{
+			counts: append([]int64(nil), h.counts...),
+			sum:    h.sum,
+			total:  h.total,
+		}
+	}
+	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP avserve_requests_total Completed HTTP requests by route and status code.")
 	fmt.Fprintln(w, "# TYPE avserve_requests_total counter")
-	reqKeys := make([]requestKey, 0, len(m.requests))
-	for k := range m.requests {
+	reqKeys := make([]requestKey, 0, len(requests))
+	for k := range requests {
 		reqKeys = append(reqKeys, k)
 	}
 	sort.Slice(reqKeys, func(i, j int) bool {
@@ -83,18 +100,18 @@ func (m *Metrics) WriteText(w io.Writer, cache CacheStats) error {
 		return reqKeys[i].code < reqKeys[j].code
 	})
 	for _, k := range reqKeys {
-		fmt.Fprintf(w, "avserve_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+		fmt.Fprintf(w, "avserve_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, requests[k])
 	}
 
 	fmt.Fprintln(w, "# HELP avserve_request_duration_seconds Request latency by route.")
 	fmt.Fprintln(w, "# TYPE avserve_request_duration_seconds histogram")
-	routes := make([]string, 0, len(m.latency))
-	for r := range m.latency {
+	routes := make([]string, 0, len(latency))
+	for r := range latency {
 		routes = append(routes, r)
 	}
 	sort.Strings(routes)
 	for _, r := range routes {
-		h := m.latency[r]
+		h := latency[r]
 		var cum int64
 		for i, le := range latencyBuckets {
 			cum += h.counts[i]

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -17,7 +18,7 @@ func buildStudy(tb testing.TB, seed int64) *core.DB {
 	cfg := pipeline.DefaultConfig()
 	cfg.Synth = synth.Config{Seed: seed}
 	cfg.OCR.Seed = seed
-	res, err := pipeline.Run(cfg)
+	res, err := pipeline.Run(context.Background(), cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
