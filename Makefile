@@ -4,10 +4,12 @@ GO ?= go
 
 BENCH_SMOKE := PipelineEndToEnd|ParseConcurrent|ClassifyAll|Snapshot
 SERVE_ADDR ?= 127.0.0.1:18080
+LOAD_ADDR ?= 127.0.0.1:18081
+LOAD_DURATION ?= 10s
 BENCH_DATE := $(shell date +%F)
 FUZZ_TIME ?= 10s
 
-.PHONY: build vet test race lint fuzz bench bench-json fmt serve ci
+.PHONY: build vet test race lint fuzz bench bench-json fmt serve load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -58,6 +60,30 @@ serve:
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	if [ "$$ok" != 1 ]; then echo "avserve never answered /healthz" >&2; exit 1; fi; \
 	echo "avserve healthy on $(SERVE_ADDR)"
+
+# End-to-end serving benchmark (the load-smoke CI job): validate the query
+# mix offline, boot a self-terminating avserve, drive it with avload for
+# LOAD_DURATION with -fail-on-errors (any transport failure or non-2xx
+# fails the target), then fold the avload/1 report and the smoke
+# micro-benchmarks into one BENCH_<date>.json perf-trajectory artifact.
+# avload's warmup retries through connection refusals and study builds, so
+# no separate /healthz poll is needed; avserve's -duration is a backstop
+# that bounds the run even if avload dies without the kill below.
+load-smoke:
+	$(GO) build -o bin/avserve ./cmd/avserve
+	$(GO) build -o bin/avload ./cmd/avload
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	./bin/avload -n 0 -print-mix
+	@./bin/avserve -addr $(LOAD_ADDR) -duration 300s & pid=$$!; \
+	status=0; \
+	./bin/avload -url "http://$(LOAD_ADDR)" -duration $(LOAD_DURATION) -c 4 \
+		-seeds 1,2 -warmup 240s -json -fail-on-errors -o load-report.json \
+		|| status=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	exit $$status
+	$(GO) test -bench '$(BENCH_SMOKE)' -benchtime 1x -run '^$$' ./... \
+		| ./bin/benchjson -load load-report.json -o BENCH_$(BENCH_DATE).json
+	@echo "wrote BENCH_$(BENCH_DATE).json"
 
 fmt:
 	@out="$$(gofmt -l .)"; \

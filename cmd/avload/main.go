@@ -1,0 +1,172 @@
+// Command avload is the fleet-scale load harness for avserve: it drives a
+// weighted mix of realistic study queries (filters, group-bys, reliability
+// metrics, pagination, cold/warm seed rotation) against a running server
+// and reports throughput, error counts, and p50/p90/p99/p999 latency from
+// an HDR-style histogram.
+//
+// Usage:
+//
+//	avload [-url http://127.0.0.1:8080] [-mix default|scan|metrics|file.json]
+//	       [-duration 10s] [-c 8] [-rate 0] [-n 0]
+//	       [-seeds 1,2] [-cold-every 0] [-cold-seed-start 1000000]
+//	       [-timeout 10s] [-warmup 2m] [-seed 1]
+//	       [-json] [-o report.json] [-fail-on-errors] [-print-mix]
+//
+// With -rate 0 (the default) avload runs closed-loop: -c workers issue
+// requests back-to-back. With -rate R it runs open-loop at R requests per
+// second in aggregate, measuring each request from its scheduled start so
+// server backlog is charged as latency (no coordinated omission). -n
+// bounds the run by request count instead of (or in addition to) -duration.
+//
+// -print-mix is the dry-run mode: it prints the resolved mix — shares,
+// names, path templates — and exits without contacting any server, so CI
+// and humans can validate a mix file with `avload -n 0 -print-mix -mix f`.
+//
+// -json writes the stable avload/1 report schema to stdout (or -o FILE),
+// with the human summary on stderr; cmd/benchjson -load folds that JSON
+// into the BENCH_* perf-trajectory files. -fail-on-errors exits nonzero if
+// any request failed or returned non-2xx, which is how the load-smoke CI
+// job turns serving regressions into red builds.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"avfda/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "avload:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and executes one load run (or the -print-mix dry run).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("avload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "http://127.0.0.1:8080", "base URL of the avserve instance under test")
+	mixSpec := fs.String("mix", "default", "query mix: a built-in name ("+strings.Join(loadgen.BuiltinMixNames(), ", ")+") or a JSON file of {name,weight,path} ops")
+	duration := fs.Duration("duration", 10*time.Second, "run length")
+	concurrency := fs.Int("c", 8, "concurrent workers")
+	rate := fs.Float64("rate", 0, "open-loop target requests/second across all workers (0 = closed loop)")
+	maxRequests := fs.Int64("n", 0, "stop after this many requests (0 = duration-bound only)")
+	seedsCSV := fs.String("seeds", "1", "comma-separated warm study seeds")
+	coldEvery := fs.Int("cold-every", 0, "every Nth request targets a fresh cold seed (0 = warm only)")
+	coldSeedStart := fs.Int64("cold-seed-start", 1_000_000, "first cold seed")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	warmup := fs.Duration("warmup", 2*time.Minute, "deadline for priming warm seeds before measuring (0 = skip warmup)")
+	genSeed := fs.Int64("seed", 1, "generator seed: equal seeds give equal request schedules")
+	jsonOut := fs.Bool("json", false, "write the avload/1 JSON report to stdout (summary moves to stderr)")
+	outFile := fs.String("o", "", "write the JSON report to this file instead of stdout (implies -json)")
+	failOnErrors := fs.Bool("fail-on-errors", false, "exit nonzero if any request errored or returned non-2xx")
+	printMix := fs.Bool("print-mix", false, "print the resolved mix and exit without contacting a server")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix, err := loadgen.LoadMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	if *printMix {
+		fmt.Fprint(stdout, mix.Describe())
+		return nil
+	}
+
+	seeds, err := parseSeeds(*seedsCSV)
+	if err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		BaseURL:       *url,
+		Mix:           mix,
+		Seeds:         seeds,
+		ColdEvery:     *coldEvery,
+		ColdSeedStart: *coldSeedStart,
+		Concurrency:   *concurrency,
+		Rate:          *rate,
+		Duration:      *duration,
+		MaxRequests:   *maxRequests,
+		Timeout:       *timeout,
+		Seed:          *genSeed,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *warmup > 0 {
+		warmCtx, cancel := context.WithTimeout(ctx, *warmup)
+		fmt.Fprintf(stderr, "avload: warming %d seed(s) against %s\n", len(seeds), *url)
+		err := loadgen.Warmup(warmCtx, cfg)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	fmt.Fprintf(stderr, "avload: running %s for %v (mix %s, %d workers)\n",
+		map[bool]string{true: "open-loop", false: "closed-loop"}[*rate > 0], *duration, mix.Name, *concurrency)
+	report, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	wantJSON := *jsonOut || *outFile != ""
+	if wantJSON {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if *outFile != "" {
+			if err := os.WriteFile(*outFile, raw, 0o644); err != nil {
+				return err
+			}
+		} else {
+			if _, err := stdout.Write(raw); err != nil {
+				return err
+			}
+		}
+		fmt.Fprint(stderr, report.Summary())
+	} else {
+		fmt.Fprint(stdout, report.Summary())
+	}
+
+	if *failOnErrors && report.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed (-fail-on-errors)", report.Errors, report.Requests)
+	}
+	return nil
+}
+
+// parseSeeds parses the -seeds CSV into a seed pool.
+func parseSeeds(csv string) ([]int64, error) {
+	parts := strings.Split(csv, ",")
+	seeds := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		s, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds entry %q: %w", p, err)
+		}
+		seeds = append(seeds, s)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("-seeds %q: no seeds", csv)
+	}
+	return seeds, nil
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"avfda/internal/loadgen"
+)
+
+// okServer answers every request 200 so runs complete cleanly.
+func okServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// -print-mix is a pure dry run: it prints the resolved mix to stdout and
+// never needs a server (the URL here points nowhere).
+func TestPrintMixDryRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-n", "0", "-print-mix", "-url", "http://127.0.0.1:1"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "mix default: 12 operations") {
+		t.Errorf("missing header: %q", s)
+	}
+	for _, frag := range []string{"reliability", "groupby-tag", "{seed}"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("print-mix output missing %q", frag)
+		}
+	}
+}
+
+// -print-mix also validates mix files, reporting typed errors for bad ones.
+func TestPrintMixValidatesFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "mix.json")
+	if err := os.WriteFile(good, []byte(`[{"name":"x","weight":1,"path":"/v1/studies/{seed}/accidents"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-print-mix", "-mix", good}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "/v1/studies/{seed}/accidents") {
+		t.Errorf("file mix not described: %q", out.String())
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`[{"name":"x","weight":-1,"path":"/y"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-print-mix", "-mix", bad}, &out, &errb); err == nil {
+		t.Error("invalid mix file: want error")
+	}
+}
+
+// A bounded run against a healthy server emits valid avload/1 JSON on
+// stdout and the human summary on stderr.
+func TestRunEmitsJSONReport(t *testing.T) {
+	srv := okServer(t)
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-url", srv.URL, "-n", "50", "-c", "2", "-duration", "30s",
+		"-warmup", "10s", "-json", "-fail-on-errors",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Schema != loadgen.ReportSchema || rep.Requests != 50 || rep.Errors != 0 {
+		t.Errorf("report = schema %q, %d requests, %d errors", rep.Schema, rep.Requests, rep.Errors)
+	}
+	if rep.RPS <= 0 || rep.Latency.P99ms <= 0 {
+		t.Errorf("report has zero rps/p99: %+v", rep)
+	}
+	if !strings.Contains(errb.String(), "requests") {
+		t.Errorf("stderr missing summary: %q", errb.String())
+	}
+}
+
+// -o writes the report to a file and keeps stdout quiet.
+func TestRunWritesReportFile(t *testing.T) {
+	srv := okServer(t)
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	err := run([]string{"-url", srv.URL, "-n", "20", "-c", "2", "-warmup", "0", "-o", path}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout not empty with -o: %q", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 20 {
+		t.Errorf("report requests = %d, want 20", rep.Requests)
+	}
+}
+
+// -fail-on-errors turns a failing server into a nonzero exit.
+func TestRunFailOnErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	var out, errb bytes.Buffer
+	err := run([]string{"-url", srv.URL, "-n", "10", "-c", "2", "-warmup", "0", "-fail-on-errors"}, &out, &errb)
+	if err == nil {
+		t.Fatal("all-500 run with -fail-on-errors: want error")
+	}
+	// Without the flag the same run succeeds and reports the errors as data.
+	if err := run([]string{"-url", srv.URL, "-n", "10", "-c", "2", "-warmup", "0"}, &out, &errb); err != nil {
+		t.Fatalf("without -fail-on-errors: %v", err)
+	}
+	if !strings.Contains(out.String(), "HTTP 500") {
+		t.Errorf("summary missing HTTP 500 count: %q", out.String())
+	}
+}
+
+// Flag and argument errors are rejected before any traffic.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	for _, args := range [][]string{
+		{"-definitely-not-a-flag"},
+		{"-mix", "no-such-mix", "-print-mix"},
+		{"-seeds", "1,x", "-warmup", "0", "-n", "1"},
+		{"-seeds", ",", "-warmup", "0", "-n", "1"},
+	} {
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}

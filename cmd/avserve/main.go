@@ -8,7 +8,11 @@
 //
 //	avserve [-addr :8080] [-cache 4] [-workers 0] [-snapshot-dir snapshots/]
 //	        [-request-timeout 60s] [-read-timeout 10s] [-write-timeout 90s]
-//	        [-shutdown-timeout 10s]
+//	        [-shutdown-timeout 10s] [-duration 0]
+//
+// With -duration > 0 the server shuts down cleanly after that long even
+// without a signal — the self-terminating mode harnesses like `make
+// load-smoke` use to bound an end-to-end run.
 //
 // The first request for a seed builds that study (seconds of CPU); the
 // build is shared by every concurrent request for the seed and cached for
@@ -54,6 +58,7 @@ func run(args []string) error {
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := fs.Duration("write-timeout", 90*time.Second, "HTTP server write timeout (must exceed a cold study build)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
+	duration := fs.Duration("duration", 0, "serve for this long, then shut down cleanly (0 = until signaled); for harnesses like make load-smoke")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +82,14 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *duration > 0 {
+		// Self-terminating harness mode: the deadline layers over the signal
+		// context, so either a signal or the timer triggers the same graceful
+		// drain below and run returns nil.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

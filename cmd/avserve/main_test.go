@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -206,5 +207,47 @@ func TestColdStartFromSnapshot(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("want flag parse error")
+	}
+}
+
+// TestRunSelfTerminates pins the -duration harness mode `make load-smoke`
+// relies on: the server binds, serves /healthz, then drains and exits nil
+// on its own — no signal required.
+func TestRunSelfTerminates(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-duration", "2s"})
+	}()
+
+	// Poll /healthz until the server is up, then let the duration elapse.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil after -duration elapses", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not self-terminate")
 	}
 }

@@ -1,16 +1,23 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // object mapping benchmark name to ns/op, for machine-readable benchmark
-// artifacts (the `make bench-json` target feeds it and CI uploads the
-// result as BENCH_<date>.json).
+// artifacts (the `make bench-json` and `make load-smoke` targets feed it
+// and CI uploads/commits the result as BENCH_<date>.json).
 //
 // Usage:
 //
-//	go test -bench ... | benchjson [-o BENCH_2026-08-05.json]
+//	go test -bench ... | benchjson [-o BENCH_2026-08-05.json] [-load report.json]
 //
 // Without -o the JSON goes to stdout. The GOMAXPROCS suffix go test
 // appends to benchmark names (e.g. BenchmarkSnapshotLoad-8) is stripped so
 // artifacts from machines with different core counts stay comparable. A
 // benchmark that appears more than once keeps its last measurement.
+//
+// -load folds an avload JSON report (cmd/avload -json, the avload/1
+// schema) into the same flat map under ServeLoad/ keys — latency quantiles
+// in nanoseconds to match the micro-benchmarks, plus rps and error/request
+// counts — so a single BENCH_<date>.json carries the micro and serving
+// perf trajectory together. With -load, benchmark input on stdin is
+// optional (pipe /dev/null to fold a report alone).
 package main
 
 import (
@@ -22,35 +29,86 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+
+	"avfda/internal/loadgen"
 )
 
 func main() {
 	out := flag.String("o", "", "write the JSON here instead of stdout")
+	load := flag.String("load", "", "fold this avload -json report into the output under ServeLoad/ keys")
 	flag.Parse()
 
-	results, err := parse(os.Stdin)
-	if err == nil && len(results) == 0 {
-		err = fmt.Errorf("no benchmark results on stdin")
-	}
-	if err == nil {
-		var w io.Writer = os.Stdout
-		if *out != "" {
-			f, ferr := os.Create(*out)
-			if ferr != nil {
-				err = ferr
-			} else {
-				defer f.Close()
-				w = f
-			}
-		}
-		if err == nil {
-			err = write(w, results)
-		}
-	}
-	if err != nil {
+	if err := run(*out, *load, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// run reads benchmark text from stdin and an optional avload report, then
+// writes the merged flat JSON map.
+func run(outPath, loadPath string, stdin io.Reader, stdout io.Writer) error {
+	results, err := parse(stdin)
+	if err != nil {
+		return err
+	}
+	if loadPath != "" {
+		folded, err := loadReport(loadPath)
+		if err != nil {
+			return err
+		}
+		for k, v := range folded {
+			results[k] = v
+		}
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results on stdin (and no -load report)")
+	}
+	var w io.Writer = stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return write(w, results)
+}
+
+// loadReport flattens an avload/1 report into BENCH-style metrics. Latency
+// keys carry a _ns suffix (converted from the report's milliseconds) so
+// they read on the same axis as ns/op micro-benchmarks; counters and rps
+// are dimensioned by their suffix.
+func loadReport(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read -load report: %w", err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parse -load report %s: %w", path, err)
+	}
+	if rep.Schema != loadgen.ReportSchema {
+		return nil, fmt.Errorf("-load report %s: schema %q, want %q", path, rep.Schema, loadgen.ReportSchema)
+	}
+	const msToNs = 1e6
+	out := map[string]float64{
+		"ServeLoad/rps":           rep.RPS,
+		"ServeLoad/requests":      float64(rep.Requests),
+		"ServeLoad/cold_requests": float64(rep.ColdRequests),
+		"ServeLoad/errors":        float64(rep.Errors),
+		"ServeLoad/p50_ns":        rep.Latency.P50ms * msToNs,
+		"ServeLoad/p90_ns":        rep.Latency.P90ms * msToNs,
+		"ServeLoad/p99_ns":        rep.Latency.P99ms * msToNs,
+		"ServeLoad/p999_ns":       rep.Latency.P999ms * msToNs,
+		"ServeLoad/mean_ns":       rep.Latency.MeanMs * msToNs,
+	}
+	for _, op := range rep.Ops {
+		if op.Requests > 0 {
+			out["ServeLoad/op/"+op.Name+"/p99_ns"] = op.P99ms * msToNs
+		}
+	}
+	return out, nil
 }
 
 // benchLine matches one result row of `go test -bench` output:

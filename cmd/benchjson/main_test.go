@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"avfda/internal/loadgen"
 )
 
 func TestParse(t *testing.T) {
@@ -44,6 +49,91 @@ func TestParseEmpty(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Fatalf("parsed %v from non-benchmark input", got)
+	}
+}
+
+// -load folds an avload report into the flat map: quantiles in ns on the
+// micro-benchmark axis, counters by suffix, per-op p99 for ops that ran.
+func TestRunFoldsLoadReport(t *testing.T) {
+	rep := loadgen.Report{
+		Schema:       loadgen.ReportSchema,
+		Requests:     1000,
+		RPS:          250.5,
+		ColdRequests: 40,
+		Errors:       2,
+		Latency:      loadgen.LatencyStats{P50ms: 1.5, P90ms: 3, P99ms: 12, P999ms: 30, MeanMs: 2},
+		Ops: []loadgen.OpStats{
+			{Name: "reliability", Requests: 400, P99ms: 10},
+			{Name: "never-ran", Requests: 0, P99ms: 0},
+		},
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bench := "BenchmarkSnapshotLoad-8 \t 10\t 7106071 ns/op\n"
+	var out strings.Builder
+	if err := run("", path, strings.NewReader(bench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSnapshotLoad":           7106071,
+		"ServeLoad/rps":                   250.5,
+		"ServeLoad/requests":              1000,
+		"ServeLoad/cold_requests":         40,
+		"ServeLoad/errors":                2,
+		"ServeLoad/p50_ns":                1.5e6,
+		"ServeLoad/p90_ns":                3e6,
+		"ServeLoad/p99_ns":                12e6,
+		"ServeLoad/p999_ns":               30e6,
+		"ServeLoad/mean_ns":               2e6,
+		"ServeLoad/op/reliability/p99_ns": 10e6,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("folded %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+
+	// With -load, empty stdin is fine; without it, it stays an error.
+	if err := run("", path, strings.NewReader(""), &strings.Builder{}); err != nil {
+		t.Errorf("empty stdin with -load: %v", err)
+	}
+	if err := run("", "", strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("empty stdin without -load: want error")
+	}
+}
+
+// A -load file that is not an avload/1 report is rejected, not silently
+// folded as zeros.
+func TestRunRejectsBadLoadReport(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"not-json.json":     "nope",
+		"wrong-schema.json": `{"schema":"other/9"}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run("", path, strings.NewReader(""), &strings.Builder{}); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	if err := run("", filepath.Join(dir, "missing.json"), strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing -load file: want error")
 	}
 }
 

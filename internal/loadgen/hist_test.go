@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// refQuantile is the exact sorted-slice reference the histogram
+// approximates: the value at 1-based rank ceil(q*n), clamped to [1, n].
+func refQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// The core correctness property: on randomized inputs across several value
+// distributions, every histogram quantile is an upper bound on the exact
+// sorted-slice quantile, within the documented 1/32 relative error, and
+// never past the true max.
+func TestQuantileMatchesSortedReference(t *testing.T) {
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	distributions := []struct {
+		name string
+		draw func(rng *rand.Rand) int64
+	}{
+		{"small-exact", func(rng *rand.Rand) int64 { return rng.Int63n(64) }},
+		{"uniform-1ms", func(rng *rand.Rand) int64 { return rng.Int63n(1_000_000) }},
+		{"wide-log", func(rng *rand.Rand) int64 { return int64(1) << uint(rng.Intn(40)) }},
+		{"latency-like", func(rng *rand.Rand) int64 {
+			// Bimodal: mostly ~100us with a 1% slow tail near 1s.
+			if rng.Intn(100) == 0 {
+				return 900_000_000 + rng.Int63n(200_000_000)
+			}
+			return 50_000 + rng.Int63n(100_000)
+		}},
+	}
+	for _, dist := range distributions {
+		for trial := 0; trial < 20; trial++ {
+			rng := rand.New(rand.NewSource(int64(trial + 1)))
+			n := 1 + rng.Intn(5000)
+			var h Histogram
+			xs := make([]int64, n)
+			for i := range xs {
+				xs[i] = dist.draw(rng)
+				h.Record(xs[i])
+			}
+			sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+			for _, q := range quantiles {
+				got := h.Quantile(q)
+				want := refQuantile(xs, q)
+				if got < want {
+					t.Fatalf("%s trial %d n=%d q=%g: histogram %d below exact %d", dist.name, trial, n, q, got, want)
+				}
+				// Upper-bound slack: exact region is exact; log-linear region
+				// is within one sub-bucket, i.e. a factor of 1+1/32.
+				limit := want + want/32 + 1
+				if got > limit {
+					t.Fatalf("%s trial %d n=%d q=%g: histogram %d exceeds %d (+1/32 of exact %d)", dist.name, trial, n, q, got, limit, want)
+				}
+				if got > xs[n-1] {
+					t.Fatalf("%s trial %d q=%g: histogram %d past true max %d", dist.name, trial, q, got, xs[n-1])
+				}
+			}
+		}
+	}
+}
+
+// Merging shards must be equivalent to recording everything into one
+// histogram — the property the per-worker sharding relies on.
+func TestMergeEquivalentToSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole Histogram
+	shards := make([]Histogram, 4)
+	for i := 0; i < 10_000; i++ {
+		v := rng.Int63n(10_000_000)
+		whole.Record(v)
+		shards[i%len(shards)].Record(v)
+	}
+	var merged Histogram
+	for i := range shards {
+		merged.Merge(&shards[i])
+	}
+	if merged.Total() != whole.Total() {
+		t.Fatalf("total = %d, want %d", merged.Total(), whole.Total())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("min/max = %d/%d, want %d/%d", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	if merged.Mean() != whole.Mean() {
+		t.Fatalf("mean = %g, want %g", merged.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+			t.Fatalf("q%g = %d, want %d", q, got, want)
+		}
+	}
+}
+
+// The zero value is usable and empty-histogram accessors return zeros.
+func TestHistogramZeroValue(t *testing.T) {
+	var h Histogram
+	if h.Total() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram not all-zero: total=%d min=%d max=%d mean=%g q99=%d",
+			h.Total(), h.Min(), h.Max(), h.Mean(), h.Quantile(0.99))
+	}
+	h.RecordDuration(3 * time.Millisecond)
+	if h.Total() != 1 || h.Quantile(0.5) != int64(3*time.Millisecond) {
+		t.Fatalf("single duration: total=%d q50=%d", h.Total(), h.Quantile(0.5))
+	}
+	h.Record(-5) // clamped to zero, not a panic or a negative bucket
+	if h.Min() != 0 {
+		t.Fatalf("min after negative record = %d, want 0", h.Min())
+	}
+}
+
+// Exhaustively check the bucket mapping invariants: indexes are monotonic
+// in v, and bucketUpper(bucketIndex(v)) >= v with bounded relative error.
+func TestBucketMappingInvariants(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345, 1 << 45} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d, below previous %d: not monotonic", v, i, prev)
+		}
+		prev = i
+		upper := bucketUpper(i)
+		if upper < v {
+			t.Fatalf("bucketUpper(bucketIndex(%d)) = %d < value", v, upper)
+		}
+		if v >= 64 && upper > v+v/32 {
+			t.Fatalf("bucketUpper(bucketIndex(%d)) = %d, more than 1/32 above", v, upper)
+		}
+	}
+}

@@ -1,0 +1,503 @@
+// Package loadgen is a stdlib-only HTTP load generator for the avserve
+// API (system #22 in DESIGN.md §2): it drives a configurable, weighted mix
+// of realistic study queries — filtered listings, group-bys, reliability
+// metrics, pagination, rendered tables — against a base URL and reports
+// throughput, error counts, and an HDR-histogram latency profile.
+//
+// Two driving disciplines are supported:
+//
+//   - closed-loop (Rate == 0): Concurrency workers issue requests
+//     back-to-back, measuring service latency under full pressure;
+//   - open-loop (Rate > 0): workers issue on a fixed schedule targeting
+//     Rate requests/second in aggregate, and each request's latency is
+//     measured from its *scheduled* start, so queueing delay when the
+//     server falls behind is charged to the server (no coordinated
+//     omission).
+//
+// Seeds rotate between a warm pool (cache hits) and, every ColdEvery-th
+// request, a fresh never-seen seed (cold study build / snapshot load), so
+// a run exercises both tiers of the serving cache.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080"
+	// (required).
+	BaseURL string
+	// Mix is the weighted operation mix (required; see LoadMix).
+	Mix Mix
+	// Seeds is the warm study-seed pool; requests draw uniformly from it.
+	// Default [1].
+	Seeds []int64
+	// ColdEvery, when > 0, makes every ColdEvery-th request target a fresh
+	// never-before-used seed starting at ColdSeedStart, forcing a cold
+	// study build or snapshot load. 0 disables cold traffic.
+	ColdEvery int
+	// ColdSeedStart is the first cold seed. Default 1_000_000, far from
+	// any warm pool.
+	ColdSeedStart int64
+	// Concurrency is the worker count (and, closed-loop, the number of
+	// outstanding requests). Default 8.
+	Concurrency int
+	// Rate is the aggregate open-loop target in requests/second; 0 selects
+	// closed-loop driving.
+	Rate float64
+	// Duration bounds the run. Default 10s. In-flight requests at the
+	// deadline are allowed to complete and are counted.
+	Duration time.Duration
+	// MaxRequests, when > 0, stops the run after that many requests even
+	// if Duration has not elapsed.
+	MaxRequests int64
+	// Timeout is the per-request client timeout. Default 10s.
+	Timeout time.Duration
+	// Seed drives the generator's own randomness (mix choices, warm-seed
+	// rotation, pagination offsets); equal seeds give the same request
+	// schedule. Default 1.
+	Seed int64
+	// Client overrides the HTTP client (tests); nil builds one with
+	// Timeout and per-host connection reuse sized to Concurrency.
+	Client *http.Client
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1}
+	}
+	if c.ColdSeedStart == 0 {
+		c.ColdSeedStart = 1_000_000
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Report is the result of one run. The JSON encoding is a stable schema
+// (Schema names its version) consumed by cmd/benchjson, CI artifacts, and
+// the BENCH_* perf trajectory.
+type Report struct {
+	Schema          string           `json:"schema"`
+	BaseURL         string           `json:"baseURL"`
+	Mix             string           `json:"mix"`
+	Mode            string           `json:"mode"`
+	Concurrency     int              `json:"concurrency"`
+	TargetRPS       float64          `json:"targetRPS,omitempty"`
+	DurationSeconds float64          `json:"durationSeconds"`
+	Requests        int64            `json:"requests"`
+	RPS             float64          `json:"rps"`
+	ColdRequests    int64            `json:"coldRequests"`
+	Errors          int64            `json:"errors"`
+	TransportErrors int64            `json:"transportErrors"`
+	StatusNon2xx    map[string]int64 `json:"statusNon2xx,omitempty"`
+	Latency         LatencyStats     `json:"latency"`
+	Ops             []OpStats        `json:"ops"`
+}
+
+// LatencyStats summarizes the merged latency histogram in milliseconds.
+type LatencyStats struct {
+	P50ms  float64 `json:"p50ms"`
+	P90ms  float64 `json:"p90ms"`
+	P99ms  float64 `json:"p99ms"`
+	P999ms float64 `json:"p999ms"`
+	MeanMs float64 `json:"meanMs"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// OpStats is the per-operation breakdown, in mix order.
+type OpStats struct {
+	Name     string  `json:"name"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P50ms    float64 `json:"p50ms"`
+	P99ms    float64 `json:"p99ms"`
+}
+
+// ReportSchema is the Report JSON schema identifier.
+const ReportSchema = "avload/1"
+
+// workerStats is one worker's private shard of counters and histograms;
+// shards are merged after every worker has exited, so no locks are taken
+// on the request path.
+type workerStats struct {
+	hist      Histogram
+	ops       []Histogram
+	opReqs    []int64
+	opErrs    []int64
+	non2xx    map[int]int64
+	transport int64
+	requests  int64
+	cold      int64
+}
+
+func newWorkerStats(nOps int) *workerStats {
+	return &workerStats{
+		ops:    make([]Histogram, nOps),
+		opReqs: make([]int64, nOps),
+		opErrs: make([]int64, nOps),
+		non2xx: make(map[int]int64),
+	}
+}
+
+// Run executes one load-generation run and returns its report. ctx cancels
+// the run early (stopping new requests; in-flight ones complete under the
+// client timeout). Run only fails on configuration errors — request
+// failures are data, reported in Errors/TransportErrors/StatusNon2xx.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL required")
+	}
+	if err := cfg.Mix.validate(); err != nil {
+		return nil, err
+	}
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Concurrency * 2,
+				MaxIdleConnsPerHost: cfg.Concurrency * 2,
+			},
+		}
+	}
+
+	var issued atomic.Int64
+	var coldIdx atomic.Int64
+	shards := make([]*workerStats, cfg.Concurrency)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		shards[w] = newWorkerStats(len(cfg.Mix.Ops))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rt := &runtimeState{
+				cfg:      cfg,
+				base:     base,
+				client:   client,
+				issued:   &issued,
+				coldIdx:  &coldIdx,
+				deadline: deadline,
+				rng:      rand.New(rand.NewSource(workerSeed(cfg.Seed, w))),
+				stats:    shards[w],
+			}
+			if cfg.Rate > 0 {
+				rt.openLoop(ctx, w, start)
+			} else {
+				rt.closedLoop(ctx)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return buildReport(cfg, shards, elapsed), nil
+}
+
+// workerSeed derives worker w's RNG seed from the run seed: a golden-ratio
+// odd-multiplier spread so nearby run seeds still give workers decorrelated
+// streams.
+func workerSeed(seed int64, w int) int64 {
+	const spread = 0x1E3779B97F4A7C15
+	return seed ^ (int64(w+1) * spread)
+}
+
+// runtimeState is one worker's view of the run.
+type runtimeState struct {
+	cfg      Config
+	base     string
+	client   *http.Client
+	issued   *atomic.Int64
+	coldIdx  *atomic.Int64
+	deadline time.Time
+	rng      *rand.Rand
+	stats    *workerStats
+}
+
+// claim reserves the next request slot, or reports the run is over.
+func (rt *runtimeState) claim(ctx context.Context) (int64, bool) {
+	if ctx.Err() != nil || !time.Now().Before(rt.deadline) {
+		return 0, false
+	}
+	n := rt.issued.Add(1)
+	if rt.cfg.MaxRequests > 0 && n > rt.cfg.MaxRequests {
+		return 0, false
+	}
+	return n, true
+}
+
+// closedLoop issues requests back-to-back until the run ends.
+func (rt *runtimeState) closedLoop(ctx context.Context) {
+	for {
+		n, ok := rt.claim(ctx)
+		if !ok {
+			return
+		}
+		started := time.Now()
+		opIdx, code, err := rt.issue(n)
+		rt.record(opIdx, time.Since(started), code, err)
+	}
+}
+
+// openLoop issues requests on this worker's fixed schedule: one every
+// (Concurrency/Rate) seconds, phase-shifted per worker so the aggregate
+// arrival process is evenly spaced at Rate requests/second. Latency is
+// measured from the scheduled start, so server backlog shows up as
+// latency instead of silently thinning the arrival rate.
+func (rt *runtimeState) openLoop(ctx context.Context, w int, start time.Time) {
+	interval := time.Duration(float64(rt.cfg.Concurrency) / rt.cfg.Rate * float64(time.Second))
+	next := start.Add(time.Duration(w) * interval / time.Duration(rt.cfg.Concurrency))
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	<-timer.C
+	for {
+		if next.After(rt.deadline) {
+			return
+		}
+		if d := time.Until(next); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				return
+			}
+		}
+		n, ok := rt.claim(ctx)
+		if !ok {
+			return
+		}
+		opIdx, code, err := rt.issue(n)
+		rt.record(opIdx, time.Since(next), code, err)
+		next = next.Add(interval)
+	}
+}
+
+// issue picks the op and seed for request n and performs it.
+func (rt *runtimeState) issue(n int64) (opIdx, code int, err error) {
+	seed, cold := rt.pickSeed(n)
+	if cold {
+		rt.stats.cold++
+	}
+	opIdx = rt.cfg.Mix.pick(rt.rng)
+	url := rt.base + resolvePath(rt.cfg.Mix.Ops[opIdx].Path, seed, rt.rng)
+	code, err = doRequest(rt.client, url)
+	return opIdx, code, err
+}
+
+// pickSeed rotates between the warm pool and fresh cold seeds.
+func (rt *runtimeState) pickSeed(n int64) (int64, bool) {
+	if rt.cfg.ColdEvery > 0 && n%int64(rt.cfg.ColdEvery) == 0 {
+		return rt.cfg.ColdSeedStart + rt.coldIdx.Add(1) - 1, true
+	}
+	return rt.cfg.Seeds[rt.rng.Intn(len(rt.cfg.Seeds))], false
+}
+
+// record books one finished request into the worker's shard.
+func (rt *runtimeState) record(opIdx int, lat time.Duration, code int, err error) {
+	rt.stats.requests++
+	rt.stats.opReqs[opIdx]++
+	if err != nil {
+		rt.stats.transport++
+		rt.stats.opErrs[opIdx]++
+		return
+	}
+	rt.stats.hist.RecordDuration(lat)
+	rt.stats.ops[opIdx].RecordDuration(lat)
+	if code < 200 || code > 299 {
+		rt.stats.non2xx[code]++
+		rt.stats.opErrs[opIdx]++
+	}
+}
+
+// doRequest performs one GET, fully draining the body so the connection
+// returns to the keep-alive pool.
+func doRequest(client *http.Client, url string) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// buildReport merges worker shards into the final report.
+func buildReport(cfg Config, shards []*workerStats, elapsed time.Duration) *Report {
+	merged := newWorkerStats(len(cfg.Mix.Ops))
+	for _, s := range shards {
+		merged.hist.Merge(&s.hist)
+		merged.requests += s.requests
+		merged.transport += s.transport
+		merged.cold += s.cold
+		for i := range s.ops {
+			merged.ops[i].Merge(&s.ops[i])
+			merged.opReqs[i] += s.opReqs[i]
+			merged.opErrs[i] += s.opErrs[i]
+		}
+		for code, c := range s.non2xx {
+			merged.non2xx[code] += c
+		}
+	}
+
+	mode := "closed-loop"
+	if cfg.Rate > 0 {
+		mode = "open-loop"
+	}
+	r := &Report{
+		Schema:          ReportSchema,
+		BaseURL:         cfg.BaseURL,
+		Mix:             cfg.Mix.Name,
+		Mode:            mode,
+		Concurrency:     cfg.Concurrency,
+		TargetRPS:       cfg.Rate,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        merged.requests,
+		ColdRequests:    merged.cold,
+		TransportErrors: merged.transport,
+		Latency: LatencyStats{
+			P50ms:  ms(merged.hist.Quantile(0.50)),
+			P90ms:  ms(merged.hist.Quantile(0.90)),
+			P99ms:  ms(merged.hist.Quantile(0.99)),
+			P999ms: ms(merged.hist.Quantile(0.999)),
+			MeanMs: merged.hist.Mean() / 1e6,
+			MaxMs:  ms(merged.hist.Max()),
+		},
+	}
+	if elapsed > 0 {
+		r.RPS = float64(merged.requests) / elapsed.Seconds()
+	}
+	if len(merged.non2xx) > 0 {
+		r.StatusNon2xx = make(map[string]int64, len(merged.non2xx))
+		for code, c := range merged.non2xx {
+			r.StatusNon2xx[strconv.Itoa(code)] = c
+			r.Errors += c
+		}
+	}
+	r.Errors += merged.transport
+	for i, op := range cfg.Mix.Ops {
+		r.Ops = append(r.Ops, OpStats{
+			Name:     op.Name,
+			Requests: merged.opReqs[i],
+			Errors:   merged.opErrs[i],
+			P50ms:    ms(merged.ops[i].Quantile(0.50)),
+			P99ms:    ms(merged.ops[i].Quantile(0.99)),
+		})
+	}
+	return r
+}
+
+// ms converts nanoseconds to milliseconds.
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// Summary renders the human-readable report: the counterpart of the JSON
+// encoding for terminals.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "avload %s against %s (mix %s, %d workers", r.Mode, r.BaseURL, r.Mix, r.Concurrency)
+	if r.TargetRPS > 0 {
+		fmt.Fprintf(&b, ", target %.0f rps", r.TargetRPS)
+	}
+	fmt.Fprintf(&b, ")\n")
+	fmt.Fprintf(&b, "  requests  %d in %.1fs (%.1f rps), %d cold\n",
+		r.Requests, r.DurationSeconds, r.RPS, r.ColdRequests)
+	fmt.Fprintf(&b, "  errors    %d (%d transport", r.Errors, r.TransportErrors)
+	for _, code := range sortedKeys(r.StatusNon2xx) {
+		fmt.Fprintf(&b, ", %d HTTP %s", r.StatusNon2xx[code], code)
+	}
+	fmt.Fprintf(&b, ")\n")
+	fmt.Fprintf(&b, "  latency   p50 %.2fms  p90 %.2fms  p99 %.2fms  p999 %.2fms  max %.2fms\n",
+		r.Latency.P50ms, r.Latency.P90ms, r.Latency.P99ms, r.Latency.P999ms, r.Latency.MaxMs)
+	for _, op := range r.Ops {
+		if op.Requests == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-18s %7d reqs  %4d errs  p50 %8.2fms  p99 %8.2fms\n",
+			op.Name, op.Requests, op.Errors, op.P50ms, op.P99ms)
+	}
+	return b.String()
+}
+
+// sortedKeys returns m's keys in ascending order for stable rendering.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Warmup primes the server for every warm seed by requesting the mix's
+// first operation once per seed, polling through 5xx/504 responses (a
+// study still building) until success or ctx expiry. It returns a typed
+// error on any 4xx — that means the mix itself is broken, and a load run
+// would only measure error handling.
+func Warmup(ctx context.Context, cfg Config) error {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return errors.New("loadgen: BaseURL required")
+	}
+	if err := cfg.Mix.validate(); err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, seed := range cfg.Seeds {
+		url := base + resolvePath(cfg.Mix.Ops[0].Path, seed, rng)
+		for {
+			code, err := doRequest(client, url)
+			switch {
+			case err == nil && code >= 200 && code <= 299:
+				// Warm.
+			case err == nil && code >= 400 && code <= 499:
+				return fmt.Errorf("loadgen: warmup seed %d: HTTP %d from %s", seed, code, url)
+			default:
+				// Transport error or 5xx (study still building): retry
+				// until the context gives up.
+				select {
+				case <-time.After(500 * time.Millisecond):
+					continue
+				case <-ctx.Done():
+					return fmt.Errorf("loadgen: warmup seed %d: %w", seed, ctx.Err())
+				}
+			}
+			break
+		}
+	}
+	return nil
+}

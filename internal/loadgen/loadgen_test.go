@@ -1,0 +1,333 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testMix is a tiny two-op mix exercising both placeholders.
+func testMix() Mix {
+	return Mix{Name: "test", Ops: []Op{
+		{Name: "list", Weight: 3, Path: "/v1/studies/{seed}/disengagements?offset={offset}&limit=50"},
+		{Name: "metrics", Weight: 1, Path: "/v1/studies/{seed}/metrics/reliability"},
+	}}
+}
+
+// A closed-loop run with MaxRequests against a healthy server issues
+// exactly that many requests, all counted, with a consistent report.
+func TestRunClosedLoopMaxRequests(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	const want = 200
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Mix:         testMix(),
+		Concurrency: 4,
+		MaxRequests: want,
+		Duration:    time.Minute, // MaxRequests stops the run first
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, ReportSchema)
+	}
+	if rep.Requests != want || hits.Load() != want {
+		t.Errorf("requests = %d (server saw %d), want %d", rep.Requests, hits.Load(), want)
+	}
+	if rep.Errors != 0 || rep.TransportErrors != 0 || len(rep.StatusNon2xx) != 0 {
+		t.Errorf("errors = %d/%d/%v, want none", rep.Errors, rep.TransportErrors, rep.StatusNon2xx)
+	}
+	if rep.RPS <= 0 || rep.Latency.P50ms <= 0 || rep.Latency.P99ms < rep.Latency.P50ms {
+		t.Errorf("implausible report: rps=%g p50=%g p99=%g", rep.RPS, rep.Latency.P50ms, rep.Latency.P99ms)
+	}
+	if rep.Mode != "closed-loop" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	var opReqs int64
+	for _, op := range rep.Ops {
+		opReqs += op.Requests
+	}
+	if opReqs != want {
+		t.Errorf("per-op requests sum to %d, want %d", opReqs, want)
+	}
+	if rep.Ops[0].Requests <= rep.Ops[1].Requests {
+		t.Errorf("op weights ignored: %d list vs %d metrics", rep.Ops[0].Requests, rep.Ops[1].Requests)
+	}
+	s := rep.Summary()
+	for _, frag := range []string{"closed-loop", "list", "metrics", "p99"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// Open-loop driving approximates the target rate and measures latency from
+// the scheduled start: a server that stalls longer than the inter-arrival
+// gap must show queueing delay in the tail, not a thinned request count.
+func TestRunOpenLoopRate(t *testing.T) {
+	var slow atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if slow.Load() {
+			time.Sleep(60 * time.Millisecond)
+		}
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Mix:         testMix(),
+		Concurrency: 2,
+		Rate:        200,
+		Duration:    500 * time.Millisecond,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open-loop" || rep.TargetRPS != 200 {
+		t.Errorf("mode/target = %q/%g", rep.Mode, rep.TargetRPS)
+	}
+	// ~100 scheduled arrivals in 500ms; allow generous scheduler slack.
+	if rep.Requests < 50 || rep.Requests > 110 {
+		t.Errorf("requests = %d, want ~100 at 200 rps for 500ms", rep.Requests)
+	}
+
+	// Now stall the server: with 60ms service vs 10ms arrival gap the
+	// backlog grows, and scheduled-start latency must reflect it.
+	slow.Store(true)
+	rep2, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Mix:         testMix(),
+		Concurrency: 2,
+		Rate:        200,
+		Duration:    400 * time.Millisecond,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Latency.P99ms < 100 {
+		t.Errorf("p99 = %.1fms under a 60ms stall at 10ms arrivals: coordinated omission not compensated", rep2.Latency.P99ms)
+	}
+}
+
+// Non-2xx responses are counted per status and per op, and transport
+// errors (a closed server) are reported separately without failing Run.
+func TestRunCountsErrors(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			http.Error(w, `{"error":{"code":"bad_query"}}`, http.StatusBadRequest)
+			return
+		}
+		_, _ = w.Write([]byte("ok"))
+	}))
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Mix:         testMix(),
+		Concurrency: 2,
+		MaxRequests: 100,
+		Duration:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 50 || rep.StatusNon2xx["400"] != 50 {
+		t.Errorf("errors = %d, non2xx = %v, want 50 HTTP 400", rep.Errors, rep.StatusNon2xx)
+	}
+	var opErrs int64
+	for _, op := range rep.Ops {
+		opErrs += op.Errors
+	}
+	if opErrs != 50 {
+		t.Errorf("per-op errors sum to %d, want 50", opErrs)
+	}
+
+	srv.Close()
+	rep, err = Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Mix:         testMix(),
+		Concurrency: 2,
+		MaxRequests: 10,
+		Duration:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TransportErrors != 10 || rep.Errors != 10 {
+		t.Errorf("transport errors = %d/%d, want 10", rep.TransportErrors, rep.Errors)
+	}
+}
+
+// Cold-seed rotation: every ColdEvery-th request targets a fresh seed at
+// or past ColdSeedStart; the rest stay in the warm pool.
+func TestRunColdSeedRotation(t *testing.T) {
+	seeds := make(chan string, 1024)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		parts := strings.Split(r.URL.Path, "/")
+		seeds <- parts[3] // /v1/studies/{seed}/...
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       srv.URL,
+		Mix:           testMix(),
+		Seeds:         []int64{7, 8},
+		ColdEvery:     5,
+		ColdSeedStart: 500,
+		Concurrency:   3,
+		MaxRequests:   100,
+		Duration:      time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(seeds)
+	warm, cold := 0, 0
+	coldSeen := make(map[string]bool)
+	for s := range seeds {
+		switch s {
+		case "7", "8":
+			warm++
+		default:
+			cold++
+			if coldSeen[s] {
+				t.Errorf("cold seed %s reused", s)
+			}
+			coldSeen[s] = true
+		}
+	}
+	if cold != 20 || rep.ColdRequests != 20 {
+		t.Errorf("cold = %d (report %d), want 20 of 100 at ColdEvery=5", cold, rep.ColdRequests)
+	}
+	if warm != 80 {
+		t.Errorf("warm = %d, want 80", warm)
+	}
+}
+
+// Equal seeds give identical request schedules (same op mix counts), so
+// perf comparisons across runs measure the server, not the generator.
+func TestRunDeterministicSchedule(t *testing.T) {
+	paths := func() map[string]int {
+		m := make(map[string]int)
+		var mu sync.Mutex
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			m[r.URL.Path]++
+			mu.Unlock()
+			_, _ = w.Write([]byte("ok"))
+		}))
+		defer srv.Close()
+		_, err := Run(context.Background(), Config{
+			BaseURL:     srv.URL,
+			Mix:         testMix(),
+			Concurrency: 2,
+			MaxRequests: 60,
+			Duration:    time.Minute,
+			Seed:        11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := paths(), paths()
+	// Workers race for request slots, so the interleaving differs — but the
+	// per-worker RNG streams are fixed, so the multiset of op choices per
+	// op family must match in aggregate counts.
+	total := func(m map[string]int, frag string) int {
+		n := 0
+		for p, c := range m {
+			if strings.Contains(p, frag) {
+				n += c
+			}
+		}
+		return n
+	}
+	for _, frag := range []string{"disengagements", "reliability"} {
+		if ta, tb := total(a, frag), total(b, frag); ta == 0 && tb == 0 {
+			t.Errorf("no %s requests in either run", frag)
+		}
+	}
+}
+
+// Config errors are reported before any traffic: no BaseURL, bad mix.
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Mix: testMix()}); err == nil {
+		t.Error("missing BaseURL: want error")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Mix: Mix{Name: "empty"}}); err == nil {
+		t.Error("empty mix: want error")
+	}
+}
+
+// Warmup hits the first op once per warm seed, retries through 5xx (a
+// study still building), and fails fast on 4xx.
+func TestWarmup(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "building", http.StatusGatewayTimeout)
+			return
+		}
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := Warmup(ctx, Config{BaseURL: srv.URL, Mix: testMix(), Seeds: []int64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 { // seed 1 retried once, seed 2 clean
+		t.Errorf("warmup made %d requests, want 3", got)
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	defer bad.Close()
+	if err := Warmup(ctx, Config{BaseURL: bad.URL, Mix: testMix()}); err == nil {
+		t.Error("4xx warmup: want error")
+	}
+}
+
+// Canceling the context stops a duration-bound run early.
+func TestRunContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, Config{
+		BaseURL:     srv.URL,
+		Mix:         testMix(),
+		Concurrency: 2,
+		Duration:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("run took %v after a 100ms cancel", elapsed)
+	}
+	if rep.Requests == 0 {
+		t.Error("no requests before cancel")
+	}
+}

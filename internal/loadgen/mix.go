@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op is one weighted operation in a query mix. Path is an HTTP path
+// template; the placeholders {seed} and {offset} are resolved per request
+// ({seed} from the warm/cold rotation, {offset} uniformly from [0, 1000)
+// in steps of 50, modeling pagination depth).
+type Op struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+	Path   string  `json:"path"`
+}
+
+// Mix is a weighted set of operations describing realistic query traffic.
+type Mix struct {
+	Name string
+	Ops  []Op
+}
+
+// builtinMixes are the named mixes avload ships with. "default" models a
+// dashboard-plus-API read mix over every endpoint family: filtered and
+// paginated listings, group-bys, reliability metrics, accidents, and the
+// occasional rendered table.
+var builtinMixes = map[string][]Op{
+	"default": {
+		{Name: "events-recent", Weight: 20, Path: "/v1/studies/{seed}/disengagements?limit=50"},
+		{Name: "events-mfr", Weight: 10, Path: "/v1/studies/{seed}/disengagements?mfr=waymo&limit=50"},
+		{Name: "events-filtered", Weight: 8, Path: "/v1/studies/{seed}/disengagements?category=ml%2Fdesign&weather=raining&limit=100"},
+		{Name: "events-window", Weight: 7, Path: "/v1/studies/{seed}/disengagements?from=2015-01&to=2015-12&limit=100"},
+		{Name: "events-paged", Weight: 10, Path: "/v1/studies/{seed}/disengagements?offset={offset}&limit=100"},
+		{Name: "groupby-tag", Weight: 10, Path: "/v1/studies/{seed}/groupby?by=tag"},
+		{Name: "groupby-category", Weight: 5, Path: "/v1/studies/{seed}/groupby?by=category&mfr=waymo"},
+		{Name: "groupby-road", Weight: 5, Path: "/v1/studies/{seed}/groupby?by=road&modality=automatic"},
+		{Name: "reliability", Weight: 15, Path: "/v1/studies/{seed}/metrics/reliability"},
+		{Name: "accidents", Weight: 7, Path: "/v1/studies/{seed}/accidents?limit=50"},
+		{Name: "table-i", Weight: 2, Path: "/v1/studies/{seed}/tables/i"},
+		{Name: "table-vii", Weight: 1, Path: "/v1/studies/{seed}/tables/vii"},
+	},
+	// "scan" stresses the listing path: deep pagination and broad filters.
+	"scan": {
+		{Name: "events-paged", Weight: 60, Path: "/v1/studies/{seed}/disengagements?offset={offset}&limit=1000"},
+		{Name: "events-mfr-paged", Weight: 25, Path: "/v1/studies/{seed}/disengagements?mfr=waymo&offset={offset}&limit=1000"},
+		{Name: "accidents-paged", Weight: 15, Path: "/v1/studies/{seed}/accidents?offset={offset}&limit=50"},
+	},
+	// "metrics" stresses the aggregation path: group-bys and reliability.
+	"metrics": {
+		{Name: "groupby-tag", Weight: 30, Path: "/v1/studies/{seed}/groupby?by=tag"},
+		{Name: "groupby-month", Weight: 20, Path: "/v1/studies/{seed}/groupby?by=month"},
+		{Name: "groupby-weather", Weight: 15, Path: "/v1/studies/{seed}/groupby?by=weather"},
+		{Name: "reliability", Weight: 35, Path: "/v1/studies/{seed}/metrics/reliability"},
+	},
+}
+
+// BuiltinMixNames lists the named mixes in sorted order.
+func BuiltinMixNames() []string {
+	names := make([]string, 0, len(builtinMixes))
+	for n := range builtinMixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MixError is a typed error for unknown or invalid mixes, so callers can
+// classify configuration mistakes without matching message text.
+type MixError struct {
+	Mix    string
+	Reason string
+}
+
+// Error implements error.
+func (e *MixError) Error() string {
+	return fmt.Sprintf("loadgen: mix %q: %s", e.Mix, e.Reason)
+}
+
+// LoadMix resolves a mix specifier: the name of a built-in mix, or a path
+// to a JSON file holding an array of Ops. The resolved mix is validated:
+// at least one op, every weight positive, every path non-empty and
+// absolute.
+func LoadMix(spec string) (Mix, error) {
+	if ops, ok := builtinMixes[spec]; ok {
+		m := Mix{Name: spec, Ops: append([]Op(nil), ops...)}
+		return m, m.validate()
+	}
+	raw, err := os.ReadFile(spec)
+	if err != nil {
+		if !strings.ContainsAny(spec, "./\\") {
+			// A bare word that is not a built-in name: almost certainly a
+			// typo'd mix name, not a file path.
+			return Mix{}, &MixError{Mix: spec, Reason: fmt.Sprintf(
+				"not a built-in mix (want one of %s) and not a readable file", strings.Join(BuiltinMixNames(), ", "))}
+		}
+		return Mix{}, fmt.Errorf("loadgen: read mix file: %w", err)
+	}
+	var ops []Op
+	if err := json.Unmarshal(raw, &ops); err != nil {
+		return Mix{}, &MixError{Mix: spec, Reason: fmt.Sprintf("invalid JSON: %v", err)}
+	}
+	m := Mix{Name: spec, Ops: ops}
+	return m, m.validate()
+}
+
+// validate checks the mix is usable for traffic generation.
+func (m Mix) validate() error {
+	if len(m.Ops) == 0 {
+		return &MixError{Mix: m.Name, Reason: "no operations"}
+	}
+	for i, op := range m.Ops {
+		switch {
+		case op.Name == "":
+			return &MixError{Mix: m.Name, Reason: fmt.Sprintf("op %d: missing name", i)}
+		case op.Weight <= 0:
+			return &MixError{Mix: m.Name, Reason: fmt.Sprintf("op %q: weight %g, want > 0", op.Name, op.Weight)}
+		case !strings.HasPrefix(op.Path, "/"):
+			return &MixError{Mix: m.Name, Reason: fmt.Sprintf("op %q: path %q, want absolute", op.Name, op.Path)}
+		}
+	}
+	return nil
+}
+
+// TotalWeight sums the op weights.
+func (m Mix) TotalWeight() float64 {
+	var sum float64
+	for _, op := range m.Ops {
+		sum += op.Weight
+	}
+	return sum
+}
+
+// Describe renders the resolved mix as a human-readable table: one line
+// per op with its normalized share, name, and path template. This is what
+// `avload -print-mix` emits, letting CI validate mix configs without a
+// server.
+func (m Mix) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mix %s: %d operations\n", m.Name, len(m.Ops))
+	total := m.TotalWeight()
+	for _, op := range m.Ops {
+		fmt.Fprintf(&b, "  %5.1f%%  %-18s %s\n", 100*op.Weight/total, op.Name, op.Path)
+	}
+	return b.String()
+}
+
+// pick chooses an op index proportionally to weight using rng.
+func (m Mix) pick(rng *rand.Rand) int {
+	u := rng.Float64() * m.TotalWeight()
+	var acc float64
+	for i, op := range m.Ops {
+		acc += op.Weight
+		if u < acc {
+			return i
+		}
+	}
+	return len(m.Ops) - 1
+}
+
+// resolvePath instantiates an op's path template for one request.
+func resolvePath(tmpl string, seed int64, rng *rand.Rand) string {
+	out := strings.ReplaceAll(tmpl, "{seed}", strconv.FormatInt(seed, 10))
+	if strings.Contains(out, "{offset}") {
+		offset := 50 * rng.Intn(20)
+		out = strings.ReplaceAll(out, "{offset}", strconv.Itoa(offset))
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Every built-in mix must load by name and validate.
+func TestBuiltinMixesValid(t *testing.T) {
+	names := BuiltinMixNames()
+	if len(names) == 0 {
+		t.Fatal("no built-in mixes")
+	}
+	for _, name := range names {
+		m, err := LoadMix(name)
+		if err != nil {
+			t.Errorf("LoadMix(%q): %v", name, err)
+			continue
+		}
+		if m.Name != name || len(m.Ops) == 0 {
+			t.Errorf("LoadMix(%q) = %+v", name, m)
+		}
+		for _, op := range m.Ops {
+			if !strings.Contains(op.Path, "{seed}") {
+				t.Errorf("mix %q op %q has no {seed} placeholder: %q", name, op.Name, op.Path)
+			}
+		}
+	}
+}
+
+// A typo'd bare mix name yields a typed MixError listing the built-ins,
+// not a file-not-found.
+func TestLoadMixUnknownName(t *testing.T) {
+	_, err := LoadMix("defualt")
+	var merr *MixError
+	if !errors.As(err, &merr) {
+		t.Fatalf("err = %v, want *MixError", err)
+	}
+	if !strings.Contains(merr.Reason, "default") {
+		t.Errorf("reason %q does not list built-in names", merr.Reason)
+	}
+}
+
+// Mixes load from JSON files, and invalid entries are rejected with typed
+// errors naming the offending op.
+func TestLoadMixFromFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "mix.json")
+	if err := os.WriteFile(good, []byte(`[
+		{"name": "only", "weight": 2.5, "path": "/v1/studies/{seed}/groupby?by=tag"}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadMix(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Ops) != 1 || m.Ops[0].Name != "only" || m.TotalWeight() != 2.5 {
+		t.Fatalf("loaded mix = %+v", m)
+	}
+
+	for name, body := range map[string]string{
+		"bad-json.json":    `{"not": "an array"}`,
+		"zero-weight.json": `[{"name": "x", "weight": 0, "path": "/y"}]`,
+		"rel-path.json":    `[{"name": "x", "weight": 1, "path": "y"}]`,
+		"no-name.json":     `[{"weight": 1, "path": "/y"}]`,
+		"empty.json":       `[]`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadMix(p)
+		var merr *MixError
+		if !errors.As(err, &merr) {
+			t.Errorf("%s: err = %v, want *MixError", name, err)
+		}
+	}
+
+	if _, err := LoadMix(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+// Describe (the -print-mix output) shows every op with its normalized
+// percentage share summing to ~100.
+func TestMixDescribe(t *testing.T) {
+	m, err := LoadMix("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Describe()
+	if !strings.Contains(out, "mix default: 12 operations") {
+		t.Errorf("header missing: %q", out)
+	}
+	for _, op := range m.Ops {
+		if !strings.Contains(out, op.Name) || !strings.Contains(out, op.Path) {
+			t.Errorf("op %q missing from describe output", op.Name)
+		}
+	}
+}
+
+// Weighted pick converges to the configured proportions.
+func TestMixPickProportions(t *testing.T) {
+	m := Mix{Name: "t", Ops: []Op{
+		{Name: "a", Weight: 1, Path: "/a"},
+		{Name: "b", Weight: 3, Path: "/b"},
+	}}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 2)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[m.pick(rng)]++
+	}
+	frac := float64(counts[1]) / n
+	if frac < 0.73 || frac > 0.77 {
+		t.Errorf("op b picked %.3f of the time, want ~0.75", frac)
+	}
+}
+
+// resolvePath substitutes {seed} everywhere and {offset} with a multiple
+// of 50 below 1000.
+func TestResolvePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := resolvePath("/v1/studies/{seed}/x?seed={seed}", 42, rng)
+	if got != "/v1/studies/42/x?seed=42" {
+		t.Errorf("resolvePath = %q", got)
+	}
+	for i := 0; i < 100; i++ {
+		p := resolvePath("/x?offset={offset}", 1, rng)
+		var off int
+		if _, err := fmt.Sscanf(p, "/x?offset=%d", &off); err != nil {
+			t.Fatalf("parse %q: %v", p, err)
+		}
+		if off%50 != 0 || off < 0 || off >= 1000 {
+			t.Fatalf("offset %d out of contract", off)
+		}
+	}
+}

@@ -39,6 +39,14 @@ type Config struct {
 	// calibrated corpus. Use larger values only for throughput/scaling
 	// benchmarks; scaled corpora no longer match Table I.
 	Scale int
+	// Fleets replicates the whole calibrated manufacturer roster into N
+	// independent synthetic fleets, each generated from its own derived
+	// seed with fleet-prefixed vehicle IDs (f01-, f02-, ...). Default 1 —
+	// the calibrated corpus. Combined with Scale this reaches 100M+ miles
+	// while per-fleet working memory stays calibrated-sized, which is what
+	// makes the streaming path's bounded-memory guarantee useful. Like
+	// Scale, replicated corpora no longer match Table I.
+	Fleets int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +65,9 @@ func (c Config) withDefaults() Config {
 	if c.Scale <= 0 {
 		c.Scale = 1
 	}
+	if c.Fleets <= 0 {
+		c.Fleets = 1
+	}
 	return c
 }
 
@@ -71,23 +82,92 @@ type Truth struct {
 }
 
 // Generate builds the full two-release synthetic corpus calibrated to the
-// paper's Table I (exact counts) and distributional targets.
+// paper's Table I (exact counts) and distributional targets. It is the
+// materialized path: every record is collected into a Truth and the whole
+// corpus is validated before return. GenerateStream produces the identical
+// record sequence without materializing it.
 func Generate(cfg Config) (*Truth, error) {
 	cfg = cfg.withDefaults()
 	truth := &Truth{}
-	for _, p := range profiles() {
-		if cfg.Scale > 1 {
-			p = scaleProfile(p, cfg.Scale)
-		}
-		rng := rand.New(rand.NewSource(profileSeed(cfg.Seed, p.mfr, p.year)))
-		if err := generateProfile(cfg, p, rng, truth); err != nil {
-			return nil, fmt.Errorf("synth: %s %s: %w", p.mfr, p.year, err)
-		}
+	if err := generateInto(cfg, truth.sink()); err != nil {
+		return nil, err
 	}
 	if err := truth.Corpus.Validate(); err != nil {
 		return nil, fmt.Errorf("synth: generated corpus invalid: %w", err)
 	}
 	return truth, nil
+}
+
+// sink returns the materializing Sink that appends every record to t — the
+// reference emission order the streaming generator is pinned against.
+func (t *Truth) sink() Sink {
+	return Sink{
+		Fleet: func(f schema.Fleet) error {
+			t.Corpus.Fleets = append(t.Corpus.Fleets, f)
+			return nil
+		},
+		Mileage: func(m schema.MonthlyMileage) error {
+			t.Corpus.Mileage = append(t.Corpus.Mileage, m)
+			return nil
+		},
+		Disengagement: func(d schema.Disengagement, tag ontology.Tag) error {
+			t.Corpus.Disengagements = append(t.Corpus.Disengagements, d)
+			t.Tags = append(t.Tags, tag)
+			return nil
+		},
+		Accident: func(a schema.Accident) error {
+			t.Corpus.Accidents = append(t.Corpus.Accidents, a)
+			return nil
+		},
+	}
+}
+
+// generateInto runs every generation job sequentially, emitting into sink.
+func generateInto(cfg Config, sink Sink) error {
+	for _, j := range generationJobs(cfg) {
+		if err := runJob(cfg, j, sink); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// genJob is one unit of generation work: a fleet replica of one
+// manufacturer-year profile with its derived seed. Jobs are independent —
+// each owns its RNG — which is what makes parallel streaming generation
+// byte-identical to the sequential path at any worker count.
+type genJob struct {
+	p    profile
+	seed int64
+}
+
+// generationJobs expands the configuration into the ordered job list:
+// fleet-replica-major, then the stable profile order. Replica 0 keeps the
+// exact legacy seed derivation and unprefixed vehicle IDs, so Fleets=1
+// output is byte-identical to historical corpora for a given seed.
+func generationJobs(cfg Config) []genJob {
+	jobs := make([]genJob, 0, cfg.Fleets*20)
+	for r := 0; r < cfg.Fleets; r++ {
+		for _, p := range profiles() {
+			if cfg.Scale > 1 {
+				p = scaleProfile(p, cfg.Scale)
+			}
+			if r > 0 {
+				p.vidPrefix = fmt.Sprintf("f%02d-", r)
+			}
+			jobs = append(jobs, genJob{p: p, seed: replicaSeed(cfg.Seed, r, p.mfr, p.year)})
+		}
+	}
+	return jobs
+}
+
+// runJob generates one job's records into sink.
+func runJob(cfg Config, j genJob, sink Sink) error {
+	rng := rand.New(rand.NewSource(j.seed))
+	if err := generateProfile(cfg, j.p, rng, sink); err != nil {
+		return fmt.Errorf("synth: %s%s %s: %w", j.p.vidPrefix, j.p.mfr, j.p.year, err)
+	}
+	return nil
 }
 
 // scaleProfile multiplies a fleet's cars, miles, and disengagements for
@@ -114,22 +194,35 @@ func profileSeed(seed int64, m schema.Manufacturer, y schema.ReportYear) int64 {
 	return seed ^ int64(h.Sum64())
 }
 
-// generateProfile appends one manufacturer-year's fleet, mileage,
-// disengagements, and accidents to truth.
-func generateProfile(cfg Config, p profile, rng *rand.Rand, truth *Truth) error {
+// replicaSeed derives the seed for one fleet replica of a profile. Replica
+// 0 uses the legacy derivation unchanged so historical corpora stay
+// byte-identical; later replicas mix the fleet index into the hash.
+func replicaSeed(seed int64, fleet int, m schema.Manufacturer, y schema.ReportYear) int64 {
+	if fleet == 0 {
+		return profileSeed(seed, m, y)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|f%d", m, y, fleet)
+	return seed ^ int64(h.Sum64())
+}
+
+// generateProfile emits one manufacturer-year's fleet, mileage,
+// disengagements, and accidents into sink, in that per-type order.
+func generateProfile(cfg Config, p profile, rng *rand.Rand, sink Sink) error {
 	// Fleet row (Cars may be calib.Unreported, preserving Table I dashes).
-	truth.Corpus.Fleets = append(truth.Corpus.Fleets, schema.Fleet{
+	if err := sink.emitFleet(schema.Fleet{
 		Manufacturer: p.mfr,
 		ReportYear:   p.year,
 		Cars:         p.stats.Cars,
-	})
+	}); err != nil {
+		return err
+	}
 
 	nCars := p.cars
 	nMonths := len(p.activeMonths)
 	if nCars <= 0 || nMonths == 0 {
 		// Accident-only vendors (Uber) still file accident reports.
-		generateAccidents(p, rng, truth, nil, nil)
-		return nil
+		return generateAccidents(p, rng, sink, nil, nil)
 	}
 
 	// Per-car mileage weights and failure proneness.
@@ -211,16 +304,18 @@ func generateProfile(cfg Config, p profile, rng *rand.Rand, truth *Truth) error 
 	modDeck := buildModalityDeck(nEvents, p.modality, rng)
 	next := 0
 	for i := 0; i < nCars; i++ {
-		vid := schema.VehicleID(fmt.Sprintf("%s-%d-car%02d", p.mfr, int(p.year), i+1))
+		vid := p.vehicleID(i)
 		for m := 0; m < nMonths; m++ {
 			month := p.activeMonths[m]
-			truth.Corpus.Mileage = append(truth.Corpus.Mileage, schema.MonthlyMileage{
+			if err := sink.emitMileage(schema.MonthlyMileage{
 				Manufacturer: p.mfr,
 				Vehicle:      vid,
 				ReportYear:   p.year,
 				Month:        month,
 				Miles:        cellMiles[i*nMonths+m],
-			})
+			}); err != nil {
+				return err
+			}
 			for e := 0; e < cellEvents[i*nMonths+m]; e++ {
 				tag := tagForCategory(catDeck[next], rng)
 				ev := synthesizeEvent(cfg, p, rng, vid, month, tag, modDeck[next], reaction, cumFrac[m])
@@ -236,7 +331,9 @@ func generateProfile(cfg Config, p profile, rng *rand.Rand, truth *Truth) error 
 		events[rng.Intn(len(events))].ReactionSeconds = calib.VWOutlierSeconds
 	}
 
-	// Deterministic ordering: by time, then vehicle.
+	// Deterministic ordering: by time, then vehicle. Sorting needs the
+	// profile's events materialized, so streaming memory is bounded by the
+	// largest single profile, never the whole corpus.
 	type evTag struct {
 		ev  schema.Disengagement
 		tag ontology.Tag
@@ -252,8 +349,9 @@ func generateProfile(cfg Config, p profile, rng *rand.Rand, truth *Truth) error 
 		return pairs[a].ev.Vehicle < pairs[b].ev.Vehicle
 	})
 	for _, pr := range pairs {
-		truth.Corpus.Disengagements = append(truth.Corpus.Disengagements, pr.ev)
-		truth.Tags = append(truth.Tags, pr.tag)
+		if err := sink.emitDisengagement(pr.ev, pr.tag); err != nil {
+			return err
+		}
 	}
 
 	// Accident exposure scales with vehicle mileage: cars that drive more
@@ -262,13 +360,12 @@ func generateProfile(cfg Config, p profile, rng *rand.Rand, truth *Truth) error 
 	vehicles := make([]schema.VehicleID, nCars)
 	carMiles := make([]float64, nCars)
 	for i := 0; i < nCars; i++ {
-		vehicles[i] = schema.VehicleID(fmt.Sprintf("%s-%d-car%02d", p.mfr, int(p.year), i+1))
+		vehicles[i] = p.vehicleID(i)
 		for m := 0; m < nMonths; m++ {
 			carMiles[i] += cellMiles[i*nMonths+m]
 		}
 	}
-	generateAccidents(p, rng, truth, vehicles, carMiles)
-	return nil
+	return generateAccidents(p, rng, sink, vehicles, carMiles)
 }
 
 // programMiles returns the manufacturer's miles in earlier report years and

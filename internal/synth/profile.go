@@ -11,6 +11,7 @@
 package synth
 
 import (
+	"fmt"
 	"time"
 
 	"avfda/internal/calib"
@@ -65,6 +66,15 @@ type profile struct {
 	reaction *calib.WeibullParams
 	// accidents to generate for this vendor-year.
 	accidents int
+	// vidPrefix distinguishes fleet replicas (Config.Fleets): "" for the
+	// calibrated fleet, "f01-" etc. for replicas, keeping vehicle IDs
+	// unique across the whole multi-fleet corpus.
+	vidPrefix string
+}
+
+// vehicleID names the i-th (zero-based) car of this profile's fleet.
+func (p profile) vehicleID(i int) schema.VehicleID {
+	return schema.VehicleID(fmt.Sprintf("%s%s-%d-car%02d", p.vidPrefix, p.mfr, int(p.year), i+1))
 }
 
 // activityWindow returns the months a manufacturer was actually testing in

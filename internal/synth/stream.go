@@ -1,0 +1,250 @@
+package synth
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"avfda/internal/ontology"
+	"avfda/internal/schema"
+)
+
+// Sink receives generated records as they are produced. Callbacks are
+// optional — a nil callback discards that record type — and are always
+// invoked from the caller's goroutine, one at a time, in the exact order
+// the materialized path appends records of that type. A callback returning
+// an error aborts generation; the error is returned from GenerateStream.
+type Sink struct {
+	Fleet         func(schema.Fleet) error
+	Mileage       func(schema.MonthlyMileage) error
+	Disengagement func(schema.Disengagement, ontology.Tag) error
+	Accident      func(schema.Accident) error
+}
+
+func (s Sink) emitFleet(f schema.Fleet) error {
+	if s.Fleet == nil {
+		return nil
+	}
+	return s.Fleet(f)
+}
+
+func (s Sink) emitMileage(m schema.MonthlyMileage) error {
+	if s.Mileage == nil {
+		return nil
+	}
+	return s.Mileage(m)
+}
+
+func (s Sink) emitDisengagement(d schema.Disengagement, tag ontology.Tag) error {
+	if s.Disengagement == nil {
+		return nil
+	}
+	return s.Disengagement(d, tag)
+}
+
+func (s Sink) emitAccident(a schema.Accident) error {
+	if s.Accident == nil {
+		return nil
+	}
+	return s.Accident(a)
+}
+
+// streamChunkSize is the record count at which a worker flushes its buffer
+// to the sequencer. Together with streamChunkDepth it bounds streaming
+// memory to O(workers x chunk) beyond the per-profile working state.
+const streamChunkSize = 2048
+
+// streamChunkDepth is each job's channel capacity in chunks. Workers that
+// run ahead of the consumer block here — backpressure, not buffering.
+const streamChunkDepth = 2
+
+// errStreamCanceled is the internal signal workers see when the consumer
+// stopped early (sink error); it never escapes GenerateStream.
+var errStreamCanceled = errors.New("synth: stream canceled")
+
+// chunk is one bounded batch of generated records in emission order. Each
+// record type keeps its own slice because corpus ordering is per-type: the
+// concatenation of every chunk's per-type slice, in chunk order, equals the
+// materialized path's per-type append order exactly.
+type chunk struct {
+	fleets    []schema.Fleet
+	mileage   []schema.MonthlyMileage
+	events    []schema.Disengagement
+	tags      []ontology.Tag
+	accidents []schema.Accident
+}
+
+func (c *chunk) len() int {
+	return len(c.fleets) + len(c.mileage) + len(c.events) + len(c.accidents)
+}
+
+// replay forwards the chunk's records to sink, per-type in emission order.
+func (c *chunk) replay(sink Sink) error {
+	for _, f := range c.fleets {
+		if err := sink.emitFleet(f); err != nil {
+			return err
+		}
+	}
+	for _, m := range c.mileage {
+		if err := sink.emitMileage(m); err != nil {
+			return err
+		}
+	}
+	for i, d := range c.events {
+		if err := sink.emitDisengagement(d, c.tags[i]); err != nil {
+			return err
+		}
+	}
+	for _, a := range c.accidents {
+		if err := sink.emitAccident(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunkSink batches one job's records into bounded chunks and ships them to
+// the sequencer over the job's channel, blocking (backpressure) when the
+// consumer has not caught up. done aborts a blocked send on early exit.
+type chunkSink struct {
+	buf  chunk
+	ch   chan *chunk
+	done <-chan struct{}
+}
+
+func (cs *chunkSink) send() error {
+	if cs.buf.len() == 0 {
+		return nil
+	}
+	out := cs.buf
+	cs.buf = chunk{}
+	select {
+	case cs.ch <- &out:
+		return nil
+	case <-cs.done:
+		return errStreamCanceled
+	}
+}
+
+// maybeFlush ships the buffer once it reaches the chunk size.
+func (cs *chunkSink) maybeFlush() error {
+	if cs.buf.len() >= streamChunkSize {
+		return cs.send()
+	}
+	return nil
+}
+
+// sink adapts the chunkSink to the Sink callback surface.
+func (cs *chunkSink) sink() Sink {
+	return Sink{
+		Fleet: func(f schema.Fleet) error {
+			cs.buf.fleets = append(cs.buf.fleets, f)
+			return cs.maybeFlush()
+		},
+		Mileage: func(m schema.MonthlyMileage) error {
+			cs.buf.mileage = append(cs.buf.mileage, m)
+			return cs.maybeFlush()
+		},
+		Disengagement: func(d schema.Disengagement, tag ontology.Tag) error {
+			cs.buf.events = append(cs.buf.events, d)
+			cs.buf.tags = append(cs.buf.tags, tag)
+			return cs.maybeFlush()
+		},
+		Accident: func(a schema.Accident) error {
+			cs.buf.accidents = append(cs.buf.accidents, a)
+			return cs.maybeFlush()
+		},
+	}
+}
+
+// GenerateStream produces the same record sequence as Generate for the same
+// Config — byte-identical at any worker count — without materializing the
+// corpus: records flow to sink in bounded chunks as generation proceeds, so
+// peak memory is O(workers x largest profile), not O(corpus). Generation
+// jobs (fleet replica x manufacturer-year) run on `workers` goroutines
+// (<=0 means GOMAXPROCS); a sequencer forwards each job's chunks to sink in
+// the sequential job order, so sink callbacks never run concurrently.
+//
+// Unlike Generate, no whole-corpus Validate pass runs — the corpus is never
+// in memory to validate. The record stream is the same one Generate
+// validates, pinned by the equivalence test.
+func GenerateStream(cfg Config, workers int, sink Sink) error {
+	cfg = cfg.withDefaults()
+	jobs := generationJobs(cfg)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		return generateInto(cfg, sink)
+	}
+
+	// Per-job chunk channels plus a per-job terminal error, published
+	// before the channel closes and read only after it is drained.
+	chans := make([]chan *chunk, len(jobs))
+	errs := make([]error, len(jobs))
+	for i := range chans {
+		chans[i] = make(chan *chunk, streamChunkDepth)
+	}
+	done := make(chan struct{})
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	// Every job index is claimed exactly once and its channel closed
+	// exactly once — even after cancellation, when claimed jobs are
+	// skipped — so the sequencer's drain below can never block forever.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				select {
+				case <-done: // consumer gave up: close without generating
+					close(chans[i])
+					continue
+				default:
+				}
+				cs := &chunkSink{ch: chans[i], done: done}
+				err := runJob(cfg, jobs[i], cs.sink())
+				if err == nil {
+					err = cs.send() // flush the tail chunk
+				}
+				if err != nil && !errors.Is(err, errStreamCanceled) {
+					errs[i] = err
+				}
+				close(chans[i])
+			}
+		}()
+	}
+
+	// Sequencer: drain jobs in order, forwarding chunks to the caller's
+	// sink. On any error, close done so blocked workers abort, drain the
+	// remaining channels so no worker stays parked on a send, then wait.
+	var firstErr error
+	for i := range jobs {
+		if firstErr == nil {
+			for c := range chans[i] {
+				if err := c.replay(sink); err != nil {
+					firstErr = err
+					close(done)
+					break
+				}
+			}
+			if firstErr == nil && errs[i] != nil {
+				firstErr = errs[i]
+				close(done)
+			}
+		}
+		// Drain whatever is left (no-op for fully consumed channels).
+		for range chans[i] {
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
