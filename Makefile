@@ -31,10 +31,12 @@ lint:
 	$(GO) build -o bin/avlint ./cmd/avlint
 	./bin/avlint ./...
 
-# Short fuzz smoke over the snapshot reader: arbitrary bytes must yield a
-# typed error or a valid DB, never a panic.
+# Short fuzz smoke over both snapshot readers: arbitrary bytes must yield
+# a typed error or a valid DB/view, never a panic (and for v2, never a
+# fault on a mapped page).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotRead$$' -fuzztime $(FUZZ_TIME) ./internal/snapshot
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshot2Read$$' -fuzztime $(FUZZ_TIME) ./internal/snapshot2
 
 bench:
 	$(GO) test -bench '$(BENCH_SMOKE)' -benchtime 1x -run '^$$' ./...

@@ -19,10 +19,12 @@
 // stdout; -json emits the listing or the group counts as JSON instead of
 // text. Malformed -from/-to values are rejected with a parse error.
 //
-// With -snapshot-dir, the study is loaded from the directory's
-// study-<seed>.avsnap snapshot (written by avpipe -snapshot-out) instead
-// of re-running the Stage I-IV pipeline; a missing snapshot falls back to
-// the pipeline build, while a corrupt one is a hard error.
+// With -snapshot-dir, the study is loaded from the directory's snapshots
+// (written by avpipe -snapshot-out) instead of re-running the Stage I-IV
+// pipeline: the mmap-able study-<seed>.avsnap2 columnar file is tried
+// first (zero-copy; disable with -snapshot-v2=false), then the legacy
+// study-<seed>.avsnap. A missing snapshot falls back to the pipeline
+// build, while a corrupt one is a hard error.
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 	"avfda"
 	"avfda/internal/query"
 	"avfda/internal/snapshot"
+	"avfda/internal/snapshot2"
 )
 
 func main() {
@@ -49,6 +52,7 @@ func main() {
 func run() error {
 	seed := flag.Int64("seed", 1, "study seed")
 	snapDir := flag.String("snapshot-dir", "", "load the study from this snapshot directory instead of rebuilding")
+	snapV2 := flag.Bool("snapshot-v2", true, "try the mmap-able v2 snapshot before the legacy v1 file")
 	mfr := flag.String("mfr", "", "filter: manufacturer name")
 	tag := flag.String("tag", "", "filter: fault tag")
 	category := flag.String("category", "", "filter: failure category")
@@ -73,7 +77,7 @@ func run() error {
 		return err
 	}
 
-	eng, err := loadEngine(*snapDir, *seed)
+	eng, err := loadEngine(*snapDir, *seed, *snapV2)
 	if err != nil {
 		return err
 	}
@@ -116,10 +120,23 @@ func run() error {
 }
 
 // loadEngine builds the query engine, preferring a study snapshot when a
-// directory is given. A missing snapshot falls back to the pipeline build;
-// a corrupt or incompatible one is surfaced rather than silently rebuilt.
-func loadEngine(snapDir string, seed int64) (*query.Engine, error) {
+// directory is given: v2 (mapped, zero-copy) ahead of v1, then the
+// pipeline. A missing snapshot falls back to the next tier; a corrupt or
+// incompatible one is surfaced rather than silently rebuilt.
+func loadEngine(snapDir string, seed int64, v2 bool) (*query.Engine, error) {
 	if snapDir != "" {
+		if v2 {
+			view, err := snapshot2.OpenSeed(snapDir, seed)
+			switch {
+			case err == nil:
+				fmt.Fprintf(os.Stderr, "mapped snapshot %s\n", snapshot2.Path(snapDir, seed))
+				return query.NewFromSource(view, view.Database)
+			case errors.Is(err, fs.ErrNotExist):
+				// Fall through to the v1 file.
+			default:
+				return nil, err
+			}
+		}
 		db, err := snapshot.ReadSeed(snapDir, seed)
 		switch {
 		case err == nil:

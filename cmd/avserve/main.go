@@ -7,8 +7,8 @@
 // Usage:
 //
 //	avserve [-addr :8080] [-cache 4] [-workers 0] [-snapshot-dir snapshots/]
-//	        [-request-timeout 60s] [-read-timeout 10s] [-write-timeout 90s]
-//	        [-shutdown-timeout 10s] [-duration 0]
+//	        [-snapshot-v2] [-request-timeout 60s] [-read-timeout 10s]
+//	        [-write-timeout 90s] [-shutdown-timeout 10s] [-duration 0]
 //
 // With -duration > 0 the server shuts down cleanly after that long even
 // without a signal — the self-terminating mode harnesses like `make
@@ -16,11 +16,13 @@
 //
 // The first request for a seed builds that study (seconds of CPU); the
 // build is shared by every concurrent request for the seed and cached for
-// later ones. With -snapshot-dir, a cache miss first tries the
-// directory's study-<seed>.avsnap snapshot (written by avpipe
-// -snapshot-out) and only falls back to the pipeline on a missing file;
-// fresh builds are written back so the next process warm-starts. See the
-// route list in internal/serve.
+// later ones. With -snapshot-dir, a cache miss walks the snapshot tiers
+// before the pipeline: map the directory's study-<seed>.avsnap2 columnar
+// snapshot (zero-copy, the default tier), then load the legacy
+// study-<seed>.avsnap (both written by avpipe -snapshot-out), and only
+// build on a miss everywhere; fresh builds are written back as v2 so the
+// next process warm-starts. -snapshot-v2=false pins the directory to the
+// v1 format for staged rollouts. See the route list in internal/serve.
 package main
 
 import (
@@ -54,6 +56,7 @@ func run(args []string) error {
 	cacheSize := fs.Int("cache", 4, "max resident studies in the LRU cache")
 	workers := fs.Int("workers", 0, "worker pool size for pipeline stages (0 = all cores)")
 	snapDir := fs.String("snapshot-dir", "", "study snapshot directory for warm starts (loaded before building, written after)")
+	snapV2 := fs.Bool("snapshot-v2", true, "serve mmap-able v2 snapshots ahead of the v1 tier and write builds through as v2 (false = legacy v1 only)")
 	requestTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request deadline, study builds included")
 	readTimeout := fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 	writeTimeout := fs.Duration("write-timeout", 90*time.Second, "HTTP server write timeout (must exceed a cold study build)")
@@ -64,10 +67,11 @@ func run(args []string) error {
 	}
 
 	server, err := serve.New(serve.Config{
-		Build:          studyBuilder(*workers),
-		CacheSize:      *cacheSize,
-		RequestTimeout: *requestTimeout,
-		SnapshotDir:    *snapDir,
+		Build:             studyBuilder(*workers),
+		CacheSize:         *cacheSize,
+		RequestTimeout:    *requestTimeout,
+		SnapshotDir:       *snapDir,
+		DisableSnapshotV2: !*snapV2,
 	})
 	if err != nil {
 		return err

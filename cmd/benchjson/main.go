@@ -12,6 +12,14 @@
 // artifacts from machines with different core counts stay comparable. A
 // benchmark that appears more than once keeps its last measurement.
 //
+// Every metric on a result row is captured, not just ns/op: units a
+// benchmark reports via b.ReportMetric (e.g. the "bytes" snapshot size
+// BenchmarkSnapshotV2Load emits) land under <name>/<unit>, with "/" in
+// the unit flattened to "_" ("B/op" -> "B_op"). Rows whose raw names
+// track a pinned perf contract additionally get a stable alias (e.g.
+// Snapshot2/load_ns next to Snapshot/load_ns for the v2-vs-v1 cold-load
+// trajectory) so dashboards survive benchmark renames.
+//
 // -load folds an avload JSON report (cmd/avload -json, the avload/1
 // schema) into the same flat map under ServeLoad/ keys — latency quantiles
 // in nanoseconds to match the micro-benchmarks, plus rps and error/request
@@ -29,6 +37,7 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 
 	"avfda/internal/loadgen"
 )
@@ -111,29 +120,59 @@ func loadReport(path string) (map[string]float64, error) {
 	return out, nil
 }
 
-// benchLine matches one result row of `go test -bench` output:
-// name (with optional -GOMAXPROCS suffix), iteration count, ns/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchName matches a result row's leading benchmark name with its
+// optional -GOMAXPROCS suffix.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?$`)
 
-// parse extracts name → ns/op pairs from benchmark output, passing through
-// everything that is not a result row (package headers, PASS/ok lines).
+// derived aliases raw benchmark metrics onto the stable perf-trajectory
+// keys pinned contracts are tracked under: the v1-vs-v2 snapshot cold-load
+// pair and the v2 file size. Both spellings appear in the artifact.
+var derived = map[string]string{
+	"BenchmarkSnapshotLoad":         "Snapshot/load_ns",
+	"BenchmarkSnapshotV2Load":       "Snapshot2/load_ns",
+	"BenchmarkSnapshotV2Load/bytes": "Snapshot2/bytes",
+}
+
+// parse extracts every metric from benchmark result rows, passing through
+// everything that is not a result row (package headers, PASS/ok lines). A
+// row reads `<name>[-P] <iterations> (<value> <unit>)...`; ns/op keeps the
+// bare benchmark name, any other unit is suffixed.
 func parse(r io.Reader) (map[string]float64, error) {
 	results := make(map[string]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			continue
+		}
+		m := benchName.FindStringSubmatch(fields[0])
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // sub-benchmark header or other non-result line
 		}
-		results[m[1]] = ns
+		name := m[1]
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			key := name
+			if unit := fields[i+1]; unit != "ns/op" {
+				key = name + "/" + strings.ReplaceAll(unit, "/", "_")
+			}
+			results[key] = val
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	for raw, alias := range derived {
+		if v, ok := results[raw]; ok {
+			results[alias] = v
+		}
 	}
 	return results, nil
 }

@@ -18,6 +18,7 @@ cpu: some CPU @ 3.00GHz
 BenchmarkSnapshotLoad-8             	     166	   7106071 ns/op
 BenchmarkSnapshotPipelineRebuild-8  	       3	 411447130 ns/op
 BenchmarkSnapshotWrite              	     500	   2000000 ns/op
+BenchmarkSnapshotV2Load-8           	    5000	    140000 ns/op	  840000 bytes
 BenchmarkFractional-16              	    1000	     123.4 ns/op	   2 B/op
 PASS
 ok  	avfda/internal/snapshot	5.1s
@@ -30,7 +31,14 @@ ok  	avfda/internal/snapshot	5.1s
 		"BenchmarkSnapshotLoad":            7106071,
 		"BenchmarkSnapshotPipelineRebuild": 411447130,
 		"BenchmarkSnapshotWrite":           2000000,
+		"BenchmarkSnapshotV2Load":          140000,
+		"BenchmarkSnapshotV2Load/bytes":    840000,
 		"BenchmarkFractional":              123.4,
+		"BenchmarkFractional/B_op":         2,
+		// Stable aliases for the pinned v1-vs-v2 cold-load trajectory.
+		"Snapshot/load_ns":  7106071,
+		"Snapshot2/load_ns": 140000,
+		"Snapshot2/bytes":   840000,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %v, want %v", got, want)
@@ -87,6 +95,7 @@ func TestRunFoldsLoadReport(t *testing.T) {
 	}
 	want := map[string]float64{
 		"BenchmarkSnapshotLoad":           7106071,
+		"Snapshot/load_ns":                7106071,
 		"ServeLoad/rps":                   250.5,
 		"ServeLoad/requests":              1000,
 		"ServeLoad/cold_requests":         40,

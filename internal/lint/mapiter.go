@@ -12,6 +12,7 @@ import (
 var detPkgs = []string{
 	"internal/core",
 	"internal/snapshot",
+	"internal/snapshot2",
 	"internal/report",
 	"internal/frame",
 	"internal/query",
@@ -42,7 +43,7 @@ var writeFuncs = map[string]bool{
 var MapIter = &Analyzer{
 	Name: "mapiter",
 	Doc: "flags order-sensitive `for range` over maps in determinism-critical packages " +
-		"(internal/{core,snapshot,report,frame,query,stats}); iterate sorted keys instead",
+		"(internal/{core,snapshot,snapshot2,report,frame,query,stats}); iterate sorted keys instead",
 	Run: runMapIter,
 }
 

@@ -12,6 +12,7 @@ var stagePkgs = []string{
 	"internal/core",
 	"internal/synth",
 	"internal/snapshot",
+	"internal/snapshot2",
 }
 
 // globalRandFuncs are the math/rand package-level functions that draw from
@@ -38,7 +39,7 @@ var globalRandFuncs = map[string]bool{
 var NonDeterm = &Analyzer{
 	Name: "nondeterm",
 	Doc: "flags time.Now() and global math/rand draws in pipeline-stage packages " +
-		"(internal/{parse,nlp,core,synth,snapshot}); derive randomness from the study seed, inject clocks",
+		"(internal/{parse,nlp,core,synth,snapshot,snapshot2}); derive randomness from the study seed, inject clocks",
 	Run: runNonDeterm,
 }
 

@@ -88,10 +88,15 @@ func Reliability(db *core.DB) ([]ReliabilityMetric, error) {
 }
 
 // Reliability reports the engine's per-manufacturer reliability metrics.
-// It requires a database-backed engine (built with New, not NewFromFrame).
+// It requires a database-backed engine (New, or NewFromSource with a
+// database hook — snapshot views materialize their tables on first use).
 func (e *Engine) Reliability() ([]ReliabilityMetric, error) {
-	if e.db == nil {
+	if e.db == nil && e.lazyDB == nil {
 		return nil, errors.New("query: engine has no database (built from a bare frame)")
 	}
-	return Reliability(e.db)
+	db, err := e.Database()
+	if err != nil {
+		return nil, err
+	}
+	return Reliability(db)
 }

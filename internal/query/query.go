@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"avfda/internal/core"
@@ -153,14 +154,63 @@ type GroupCount struct {
 	Count int    `json:"count"`
 }
 
-// Engine answers queries over one study's failure database. Build it once
-// with New (or NewFromFrame) and share it freely: all methods are
-// read-only and safe for concurrent use.
-type Engine struct {
-	f  *frame.Frame
-	db *core.DB // nil when built from a bare frame
+// Source is the read surface the engine queries: per-row column accessors
+// in the exact string forms core.DB.EventsFrame renders (display names for
+// enums, "YYYY-YYYY" report years) plus the three inverted-index lookups,
+// keyed by lower-cased value with ascending row ids. Implementations must
+// be immutable and safe for concurrent use; returned posting lists are
+// shared and read-only.
+//
+// The in-heap implementation wraps the column slices an engine has always
+// carried; snapshot2.View implements the same surface directly over a
+// memory-mapped study file, which is how an engine serves queries with no
+// deserialization at all.
+type Source interface {
+	// NumRows returns the event count; row indexes run [0, NumRows()).
+	NumRows() int
 
-	n        int
+	Manufacturer(i int) string
+	Vehicle(i int) string
+	ReportYear(i int) string
+	Time(i int) time.Time
+	Cause(i int) string
+	Tag(i int) string
+	Category(i int) string
+	Modality(i int) string
+	Road(i int) string
+	Weather(i int) string
+	ReactionSeconds(i int) float64
+
+	// ManufacturerIDs, TagIDs, and CategoryIDs return the ascending row
+	// ids whose lower-cased column value equals key, or nil when the key
+	// has no rows.
+	ManufacturerIDs(key string) []int
+	TagIDs(key string) []int
+	CategoryIDs(key string) []int
+}
+
+// Engine answers queries over one study's failure database. Build it once
+// with New (or NewFromFrame, or NewFromSource over a snapshot view) and
+// share it freely: all methods are read-only and safe for concurrent use.
+type Engine struct {
+	src Source
+	n   int
+
+	db     *core.DB // set by New; nil for frame- and source-backed engines
+	lazyDB func() (*core.DB, error)
+	dbOnce sync.Once
+	mdb    *core.DB
+	mdbErr error
+
+	f         *frame.Frame // set by New/NewFromFrame; else materialized lazily
+	frameOnce sync.Once
+	mframe    *frame.Frame
+	mframeErr error
+}
+
+// sliceSource is the in-heap Source: the engine's historical column slices
+// and eagerly built inverted indexes.
+type sliceSource struct {
 	mfr      []string
 	tag      []string
 	category []string
@@ -178,6 +228,22 @@ type Engine struct {
 	byTag      map[string][]int
 	byCategory map[string][]int
 }
+
+func (s *sliceSource) NumRows() int                     { return len(s.mfr) }
+func (s *sliceSource) Manufacturer(i int) string        { return s.mfr[i] }
+func (s *sliceSource) Vehicle(i int) string             { return s.vehicle[i] }
+func (s *sliceSource) ReportYear(i int) string          { return s.year[i] }
+func (s *sliceSource) Time(i int) time.Time             { return s.times[i] }
+func (s *sliceSource) Cause(i int) string               { return s.cause[i] }
+func (s *sliceSource) Tag(i int) string                 { return s.tag[i] }
+func (s *sliceSource) Category(i int) string            { return s.category[i] }
+func (s *sliceSource) Modality(i int) string            { return s.modality[i] }
+func (s *sliceSource) Road(i int) string                { return s.road[i] }
+func (s *sliceSource) Weather(i int) string             { return s.weather[i] }
+func (s *sliceSource) ReactionSeconds(i int) float64    { return s.reaction[i] }
+func (s *sliceSource) ManufacturerIDs(key string) []int { return s.byMfr[key] }
+func (s *sliceSource) TagIDs(key string) []int          { return s.byTag[key] }
+func (s *sliceSource) CategoryIDs(key string) []int     { return s.byCategory[key] }
 
 // New builds an engine over the database's events (via EventsFrame).
 func New(db *core.DB) (*Engine, error) {
@@ -205,9 +271,7 @@ func NewFromFrame(f *frame.Frame) (*Engine, error) {
 		return nil, errors.New("query: nil frame")
 	}
 	n := f.NumRows()
-	e := &Engine{
-		f:        f,
-		n:        n,
+	s := &sliceSource{
 		mfr:      stringColOrEmpty(f, "manufacturer", n),
 		tag:      stringColOrEmpty(f, "tag", n),
 		category: stringColOrEmpty(f, "category", n),
@@ -220,10 +284,24 @@ func NewFromFrame(f *frame.Frame) (*Engine, error) {
 		reaction: floatColOrZero(f, "reactionSeconds", n),
 		times:    timeColOrZero(f, "time", n),
 	}
-	e.byMfr = buildIndex(e.mfr)
-	e.byTag = buildIndex(e.tag)
-	e.byCategory = buildIndex(e.category)
-	return e, nil
+	s.byMfr = buildIndex(s.mfr)
+	s.byTag = buildIndex(s.tag)
+	s.byCategory = buildIndex(s.category)
+	return &Engine{src: s, n: n, f: f}, nil
+}
+
+// NewFromSource builds an engine directly over a Source — typically a
+// snapshot2.View serving a memory-mapped study with zero deserialization.
+// lazyDB, when non-nil, materializes the full failure database on first
+// need (accident listings, reliability metrics, dataframe export); it is
+// invoked at most once and must return a database consistent with the
+// source's rows. With a nil lazyDB those analyses fail the same way a
+// bare-frame engine's do.
+func NewFromSource(src Source, lazyDB func() (*core.DB, error)) (*Engine, error) {
+	if src == nil {
+		return nil, errors.New("query: nil source")
+	}
+	return &Engine{src: src, n: src.NumRows(), lazyDB: lazyDB}, nil
 }
 
 // stringColOrEmpty copies the named string column, or zero-fills.
@@ -263,8 +341,43 @@ func buildIndex(col []string) map[string][]int {
 // Len returns the total number of events in the engine.
 func (e *Engine) Len() int { return e.n }
 
-// DB returns the backing failure database, or nil for frame-only engines.
+// DB returns the database the engine was constructed from (New), or nil
+// for frame- and source-backed engines. Callers that can accept lazy
+// materialization should prefer Database.
 func (e *Engine) DB() *core.DB { return e.db }
+
+// Database returns the backing failure database, materializing it on
+// first use for source-backed engines (snapshot views decode their tables
+// exactly once, here). Engines built from a bare frame have no database
+// to give and return an error.
+func (e *Engine) Database() (*core.DB, error) {
+	if e.db != nil {
+		return e.db, nil
+	}
+	if e.lazyDB == nil {
+		return nil, errors.New("query: engine has no database (built from a bare frame)")
+	}
+	e.dbOnce.Do(func() { e.mdb, e.mdbErr = e.lazyDB() })
+	return e.mdb, e.mdbErr
+}
+
+// frame returns the engine's events dataframe, materializing it from the
+// database on first use for source-backed engines. Only the dataframe
+// fallbacks (CSV export, group-by over non-indexed columns) pay this cost.
+func (e *Engine) frame() (*frame.Frame, error) {
+	if e.f != nil {
+		return e.f, nil
+	}
+	e.frameOnce.Do(func() {
+		db, err := e.Database()
+		if err != nil {
+			e.mframeErr = err
+			return
+		}
+		e.mframe, e.mframeErr = db.EventsFrame()
+	})
+	return e.mframe, e.mframeErr
+}
 
 // eqFold reports whether got matches the predicate want ("" matches all).
 func eqFold(got, want string) bool {
@@ -274,15 +387,15 @@ func eqFold(got, want string) bool {
 // matches verifies every predicate of f against row i. from/toExcl are the
 // pre-parsed month bounds.
 func (e *Engine) matches(i int, f Filter, from, toExcl time.Time) bool {
-	if !eqFold(e.mfr[i], f.Manufacturer) ||
-		!eqFold(e.tag[i], f.Tag) ||
-		!eqFold(e.category[i], f.Category) ||
-		!eqFold(e.road[i], f.Road) ||
-		!eqFold(e.weather[i], f.Weather) ||
-		!eqFold(e.modality[i], f.Modality) {
+	if !eqFold(e.src.Manufacturer(i), f.Manufacturer) ||
+		!eqFold(e.src.Tag(i), f.Tag) ||
+		!eqFold(e.src.Category(i), f.Category) ||
+		!eqFold(e.src.Road(i), f.Road) ||
+		!eqFold(e.src.Weather(i), f.Weather) ||
+		!eqFold(e.src.Modality(i), f.Modality) {
 		return false
 	}
-	ts := e.times[i]
+	ts := e.src.Time(i)
 	if !from.IsZero() && ts.Before(from) {
 		return false
 	}
@@ -320,18 +433,18 @@ func (e *Engine) Select(f Filter) ([]int, error) {
 func (e *Engine) candidates(f Filter) []int {
 	var best []int
 	found := false
-	consider := func(idx map[string][]int, want string) {
+	consider := func(lookup func(string) []int, want string) {
 		if want == "" {
 			return
 		}
-		list := idx[strings.ToLower(want)]
+		list := lookup(strings.ToLower(want))
 		if !found || len(list) < len(best) {
 			best, found = list, true
 		}
 	}
-	consider(e.byMfr, f.Manufacturer)
-	consider(e.byTag, f.Tag)
-	consider(e.byCategory, f.Category)
+	consider(e.src.ManufacturerIDs, f.Manufacturer)
+	consider(e.src.TagIDs, f.Tag)
+	consider(e.src.CategoryIDs, f.Category)
 	if !found {
 		return nil
 	}
@@ -375,17 +488,17 @@ func (e *Engine) Count(f Filter) (int, error) {
 // event materializes row i.
 func (e *Engine) event(i int) Event {
 	return Event{
-		Manufacturer:    e.mfr[i],
-		Vehicle:         e.vehicle[i],
-		ReportYear:      e.year[i],
-		Time:            e.times[i],
-		Cause:           e.cause[i],
-		Tag:             e.tag[i],
-		Category:        e.category[i],
-		Modality:        e.modality[i],
-		Road:            e.road[i],
-		Weather:         e.weather[i],
-		ReactionSeconds: e.reaction[i],
+		Manufacturer:    e.src.Manufacturer(i),
+		Vehicle:         e.src.Vehicle(i),
+		ReportYear:      e.src.ReportYear(i),
+		Time:            e.src.Time(i),
+		Cause:           e.src.Cause(i),
+		Tag:             e.src.Tag(i),
+		Category:        e.src.Category(i),
+		Modality:        e.src.Modality(i),
+		Road:            e.src.Road(i),
+		Weather:         e.src.Weather(i),
+		ReactionSeconds: e.src.ReactionSeconds(i),
 	}
 }
 
@@ -430,17 +543,21 @@ type AccidentPage struct {
 // other filter fields are ignored. Pagination follows Events: negative
 // offsets clamp to 0, Limit <= 0 means unlimited, and an offset at or past
 // the total yields an empty (non-nil) page. Requires a database-backed
-// engine (New, not NewFromFrame).
+// engine (New, or NewFromSource with a database hook).
 func (e *Engine) Accidents(f Filter, p Page) (AccidentPage, error) {
-	if e.db == nil {
+	if e.db == nil && e.lazyDB == nil {
 		return AccidentPage{}, errors.New("query: accidents need a database-backed engine (built with New)")
+	}
+	db, err := e.Database()
+	if err != nil {
+		return AccidentPage{}, err
 	}
 	from, toExcl, err := f.monthRange()
 	if err != nil {
 		return AccidentPage{}, err
 	}
-	matched := make([]schema.Accident, 0, len(e.db.Accidents))
-	for _, a := range e.db.Accidents {
+	matched := make([]schema.Accident, 0, len(db.Accidents))
+	for _, a := range db.Accidents {
 		if !eqFold(string(a.Manufacturer), f.Manufacturer) {
 			continue
 		}
@@ -469,13 +586,18 @@ func (e *Engine) Accidents(f Filter, p Page) (AccidentPage, error) {
 }
 
 // Frame returns the matching rows as a dataframe (for CSV export and
-// frame-level post-processing).
+// frame-level post-processing). Source-backed engines materialize their
+// dataframe on first use.
 func (e *Engine) Frame(f Filter) (*frame.Frame, error) {
 	ids, err := e.Select(f)
 	if err != nil {
 		return nil, err
 	}
-	return e.f.Take(ids)
+	fr, err := e.frame()
+	if err != nil {
+		return nil, err
+	}
+	return fr.Take(ids)
 }
 
 // GroupColumns lists the group-by columns the engine answers from its
@@ -496,19 +618,19 @@ func (e *Engine) GroupCount(f Filter, by string) ([]GroupCount, error) {
 	var key func(i int) string
 	switch by {
 	case "manufacturer":
-		key = func(i int) string { return e.mfr[i] }
+		key = e.src.Manufacturer
 	case "tag":
-		key = func(i int) string { return e.tag[i] }
+		key = e.src.Tag
 	case "category":
-		key = func(i int) string { return e.category[i] }
+		key = e.src.Category
 	case "road":
-		key = func(i int) string { return e.road[i] }
+		key = e.src.Road
 	case "weather":
-		key = func(i int) string { return e.weather[i] }
+		key = e.src.Weather
 	case "modality":
-		key = func(i int) string { return e.modality[i] }
+		key = e.src.Modality
 	case "month":
-		key = func(i int) string { return e.times[i].Format("2006-01") }
+		key = func(i int) string { return e.src.Time(i).Format("2006-01") }
 	default:
 		return e.groupCountFrame(ids, by)
 	}
@@ -521,7 +643,11 @@ func (e *Engine) GroupCount(f Filter, by string) ([]GroupCount, error) {
 
 // groupCountFrame groups arbitrary frame columns via frame.GroupBy.
 func (e *Engine) groupCountFrame(ids []int, by string) ([]GroupCount, error) {
-	sub, err := e.f.Take(ids)
+	fr, err := e.frame()
+	if err != nil {
+		return nil, err
+	}
+	sub, err := fr.Take(ids)
 	if err != nil {
 		return nil, err
 	}

@@ -10,14 +10,29 @@ import (
 	"avfda/internal/core"
 	"avfda/internal/query"
 	"avfda/internal/snapshot"
+	"avfda/internal/snapshot2"
 )
 
 // Study is one cached, fully built study: the consolidated failure
 // database plus its query engine. Both are immutable after construction,
 // so a cached study is served to any number of concurrent requests.
 type Study struct {
+	// DB is the in-heap database for built and v1-loaded studies; it is
+	// nil for studies served from a mapped v2 snapshot, whose engine
+	// materializes tables lazily. Callers that need the database should go
+	// through Database.
 	DB     *core.DB
 	Engine *query.Engine
+}
+
+// Database returns the study's failure database, materializing it from
+// the engine's backing snapshot when the study was loaded as a mapped v2
+// view (whole-table consumers — the report tables — pay that cost once).
+func (s *Study) Database() (*core.DB, error) {
+	if s.DB != nil {
+		return s.DB, nil
+	}
+	return s.Engine.Database()
 }
 
 // BuildFunc builds the study for one seed. Builds are expensive (a full
@@ -37,29 +52,40 @@ type CacheStats struct {
 	Builds int64
 	// Evictions counts studies dropped to respect the capacity.
 	Evictions int64
-	// SnapshotLoads counts misses satisfied from the snapshot directory
-	// instead of a pipeline build.
+	// Snapshot2Loads counts misses satisfied by mapping a v2 columnar
+	// snapshot — the cheapest possible path, no deserialization at all.
+	Snapshot2Loads int64
+	// Snapshot2Writes counts v2 snapshots written through after a
+	// successful pipeline build.
+	Snapshot2Writes int64
+	// Snapshot2Rejects counts v2 snapshot files that existed but were
+	// refused (version mismatch, checksum failure, truncation, structural
+	// corruption) and fell back to the v1 tier or a rebuild.
+	Snapshot2Rejects int64
+	// SnapshotLoads counts misses satisfied from a legacy v1 snapshot
+	// (deserializing load) after the v2 tier missed.
 	SnapshotLoads int64
-	// SnapshotWrites counts snapshots written through after a successful
-	// pipeline build.
+	// SnapshotWrites counts v1 snapshots written through after a
+	// successful pipeline build (only when the v2 tier is disabled).
 	SnapshotWrites int64
-	// SnapshotRejects counts snapshot files that existed but were refused
-	// (version mismatch, checksum failure, truncation) and triggered a
-	// rebuild instead.
+	// SnapshotRejects counts v1 snapshot files that existed but were
+	// refused (version mismatch, checksum failure, truncation) and
+	// triggered a rebuild instead.
 	SnapshotRejects int64
 	// Resident is the number of studies currently cached.
 	Resident int
 }
 
 // Cache is a seed-keyed LRU of built studies with an optional second tier:
-// a directory of persisted study snapshots. A miss first tries the
-// snapshot file for the seed — loading one is orders of magnitude cheaper
-// than a pipeline run — and only falls back to the pipeline build when the
-// snapshot is absent or rejected; a successful build is written through so
-// the next cold process (or post-eviction Get) warm-starts. Corrupt or
-// stale-version snapshots are never trusted: they fail the checksum or
-// version check in package snapshot, count as SnapshotRejects, and are
-// overwritten by the rebuild's write-through.
+// a directory of persisted study snapshots. A miss walks the tiers from
+// cheapest to dearest — map a v2 columnar snapshot (microseconds, zero
+// deserialization), load a legacy v1 snapshot (milliseconds), run the
+// pipeline (hundreds of milliseconds) — and a successful build is written
+// through (as v2 when the tier is enabled) so the next cold process or
+// post-eviction Get warm-starts. Corrupt or stale-version snapshots are
+// never trusted: they fail the typed checksum/version/format checks in
+// their package, count as rejects for their tier, and are overwritten by
+// the rebuild's write-through.
 //
 // Concurrent Gets for an absent seed are coalesced singleflight-style:
 // exactly one load-or-build runs and every waiter receives its result. A
@@ -70,6 +96,7 @@ type Cache struct {
 	build   BuildFunc
 	cap     int
 	snapDir string // "" disables the snapshot tier
+	v2      bool   // serve and write v2 snapshots ahead of the v1 tier
 
 	mu      sync.Mutex
 	order   *list.List              // of *cacheEntry, most recently used first
@@ -98,8 +125,16 @@ func NewCache(build BuildFunc, capacity int) (*Cache, error) {
 }
 
 // NewSnapshotCache creates a cache whose misses go through the snapshot
-// directory before the pipeline build. An empty dir disables the tier.
+// directory before the pipeline build, with the v2 (mmap) tier enabled.
+// An empty dir disables snapshots entirely.
 func NewSnapshotCache(build BuildFunc, capacity int, dir string) (*Cache, error) {
+	return NewTieredCache(build, capacity, dir, true)
+}
+
+// NewTieredCache creates a cache with explicit control over the v2 tier:
+// v2 false restricts the snapshot directory to the legacy v1 format (reads
+// and write-through), for operators staging the v2 rollout.
+func NewTieredCache(build BuildFunc, capacity int, dir string, v2 bool) (*Cache, error) {
 	if build == nil {
 		return nil, errors.New("serve: nil build function")
 	}
@@ -110,6 +145,7 @@ func NewSnapshotCache(build BuildFunc, capacity int, dir string) (*Cache, error)
 		build:   build,
 		cap:     capacity,
 		snapDir: dir,
+		v2:      v2,
 		order:   list.New(),
 		entries: make(map[int64]*list.Element),
 		flights: make(map[int64]*flight),
@@ -166,10 +202,25 @@ func (c *Cache) run(seed int64, fl *flight) {
 	close(fl.done)
 }
 
-// acquire produces the study for one coalesced miss: snapshot tier first,
-// pipeline build second, with write-through after a successful build.
+// acquire produces the study for one coalesced miss: v2 snapshot tier,
+// then v1 snapshot tier, then the pipeline build, with write-through after
+// a successful build.
 func (c *Cache) acquire(seed int64) (*Study, error) {
 	if c.snapDir != "" {
+		if c.v2 {
+			study, err := c.loadSnapshot2(seed)
+			switch {
+			case err == nil:
+				c.bump(&c.stats.Snapshot2Loads)
+				return study, nil
+			case errors.Is(err, fs.ErrNotExist):
+				// Plain tier miss: no v2 file for this seed yet.
+			default:
+				// Present but unusable: never trust it, fall through to
+				// the v1 tier (a pre-migration file may still be good).
+				c.bump(&c.stats.Snapshot2Rejects)
+			}
+		}
 		study, err := c.loadSnapshot(seed)
 		switch {
 		case err == nil:
@@ -191,15 +242,23 @@ func (c *Cache) acquire(seed int64) (*Study, error) {
 	if c.snapDir != "" && study != nil && study.DB != nil {
 		// Write-through replaces whatever was on disk (including a
 		// just-rejected file) via an atomic rename; a write failure only
-		// costs the next cold process a rebuild, so it is not fatal.
-		if err := snapshot.WriteSeed(c.snapDir, seed, study.DB); err == nil {
-			c.bump(&c.stats.SnapshotWrites)
+		// costs the next cold process a rebuild, so it is not fatal. With
+		// the v2 tier on, the v2 format is the write-through target — v1
+		// files are read for compatibility but no longer produced here.
+		if c.v2 {
+			if err := snapshot2.WriteSeed(c.snapDir, seed, study.DB); err == nil {
+				c.bump(&c.stats.Snapshot2Writes)
+			}
+		} else {
+			if err := snapshot.WriteSeed(c.snapDir, seed, study.DB); err == nil {
+				c.bump(&c.stats.SnapshotWrites)
+			}
 		}
 	}
 	return study, nil
 }
 
-// loadSnapshot reads the persisted database for seed and rebuilds its
+// loadSnapshot reads the persisted v1 database for seed and rebuilds its
 // query indexes, yielding a servable study.
 func (c *Cache) loadSnapshot(seed int64) (*Study, error) {
 	db, err := snapshot.ReadSeed(c.snapDir, seed)
@@ -211,6 +270,25 @@ func (c *Cache) loadSnapshot(seed int64) (*Study, error) {
 		return nil, err
 	}
 	return &Study{DB: db, Engine: engine}, nil
+}
+
+// loadSnapshot2 maps the v2 snapshot for seed and serves queries straight
+// off the mapping: no deserialization, no DB materialization until an
+// endpoint actually needs whole tables. The view is validated end-to-end
+// at open, so a success here is as trustworthy as a fresh build; its
+// mapping is released by the runtime once the study is evicted and no
+// request still references the engine.
+func (c *Cache) loadSnapshot2(seed int64) (*Study, error) {
+	v, err := snapshot2.OpenSeed(c.snapDir, seed)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := query.NewFromSource(v, v.Database)
+	if err != nil {
+		v.Close()
+		return nil, err
+	}
+	return &Study{Engine: engine}, nil
 }
 
 // bump increments one stats counter under the cache lock.

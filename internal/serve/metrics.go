@@ -130,11 +130,14 @@ func (m *Metrics) WriteText(w io.Writer, cache CacheStats) error {
 	}{
 		{"avserve_cache_hits_total", "Study cache hits.", cache.Hits},
 		{"avserve_cache_misses_total", "Study cache misses.", cache.Misses},
-		{"avserve_cache_builds_total", "Study pipeline builds started (singleflight-coalesced).", cache.Builds},
+		{"avserve_cache_builds_total", "Study pipeline builds started (singleflight-coalesced), whether or not they succeed; includes rebuilds triggered by snapshot rejects.", cache.Builds},
 		{"avserve_cache_evictions_total", "Studies evicted to respect capacity.", cache.Evictions},
-		{"avserve_snapshot_loads_total", "Cache misses served from the snapshot tier.", cache.SnapshotLoads},
-		{"avserve_snapshot_writes_total", "Snapshots written through after a build.", cache.SnapshotWrites},
-		{"avserve_snapshot_rejects_total", "Snapshot files rejected as corrupt or incompatible.", cache.SnapshotRejects},
+		{"avserve_snapshot2_loads_total", "Cache misses served by mapping a v2 columnar snapshot (zero-copy).", cache.Snapshot2Loads},
+		{"avserve_snapshot2_writes_total", "V2 snapshots written through after a successful build.", cache.Snapshot2Writes},
+		{"avserve_snapshot2_rejects_total", "V2 snapshot files refused by validation (checksum, version, or structure); each falls back to the v1 tier or a rebuild, and is not a build failure.", cache.Snapshot2Rejects},
+		{"avserve_snapshot_loads_total", "Cache misses served from the legacy v1 snapshot tier (deserializing load).", cache.SnapshotLoads},
+		{"avserve_snapshot_writes_total", "V1 snapshots written through after a successful build (v2 tier disabled).", cache.SnapshotWrites},
+		{"avserve_snapshot_rejects_total", "V1 snapshot files refused by validation (checksum, version, or truncation); each triggers a pipeline rebuild, and is not a build failure.", cache.SnapshotRejects},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
 	}

@@ -56,6 +56,10 @@ type Config struct {
 	// miss loads the seed's persisted study from this directory before
 	// falling back to Build, and successful builds are written through.
 	SnapshotDir string
+	// DisableSnapshotV2 restricts the snapshot tier to the legacy v1
+	// format. By default a miss maps the seed's v2 columnar snapshot
+	// (zero-copy) before trying v1, and write-through produces v2 files.
+	DisableSnapshotV2 bool
 	// RequestTimeout bounds each request, including any study build it
 	// triggers; <= 0 means 60s.
 	RequestTimeout time.Duration
@@ -85,7 +89,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 60 * time.Second
 	}
-	cache, err := NewSnapshotCache(cfg.Build, cfg.CacheSize, cfg.SnapshotDir)
+	cache, err := NewTieredCache(cfg.Build, cfg.CacheSize, cfg.SnapshotDir, !cfg.DisableSnapshotV2)
 	if err != nil {
 		return nil, err
 	}
@@ -362,7 +366,12 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	if !okStudy {
 		return
 	}
-	text, err := render(study.DB)
+	db, err := study.Database()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "render table %s: %v", id, err)
+		return
+	}
+	text, err := render(db)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "render table %s: %v", id, err)
 		return

@@ -21,6 +21,7 @@ import (
 	"avfda/internal/query"
 	"avfda/internal/schema"
 	"avfda/internal/snapshot"
+	"avfda/internal/snapshot2"
 )
 
 // testDB hand-assembles a small failure database.
@@ -274,6 +275,34 @@ func TestCacheHitOnSecondRequest(t *testing.T) {
 	}
 }
 
+// TestMetricsHelpText pins the counter help lines: the build counter and
+// the two reject counters must describe distinct events (a snapshot reject
+// triggers a rebuild but is not a build failure — the descriptions used to
+// conflate them), and every snapshot tier counter (v1 and v2) must render.
+func TestMetricsHelpText(t *testing.T) {
+	var buf strings.Builder
+	if err := NewMetrics().WriteText(&buf, CacheStats{}); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"# HELP avserve_cache_builds_total Study pipeline builds started (singleflight-coalesced), whether or not they succeed; includes rebuilds triggered by snapshot rejects.",
+		"# HELP avserve_snapshot_rejects_total V1 snapshot files refused by validation (checksum, version, or truncation); each triggers a pipeline rebuild, and is not a build failure.",
+		"# HELP avserve_snapshot2_rejects_total V2 snapshot files refused by validation (checksum, version, or structure); each falls back to the v1 tier or a rebuild, and is not a build failure.",
+		"# HELP avserve_snapshot2_loads_total",
+		"# HELP avserve_snapshot2_writes_total",
+		"# HELP avserve_snapshot_loads_total",
+		"# HELP avserve_snapshot_writes_total",
+		"avserve_snapshot2_loads_total 0",
+		"avserve_snapshot2_writes_total 0",
+		"avserve_snapshot2_rejects_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics rendering missing %q", want)
+		}
+	}
+}
+
 // TestSingleflightOverHTTP: concurrent first requests for a seed share one
 // build.
 func TestSingleflightOverHTTP(t *testing.T) {
@@ -486,9 +515,10 @@ func TestAccidentsGolden(t *testing.T) {
 	}
 }
 
-// TestSnapshotTierColdStart is the warm-start acceptance test: a cold
-// server whose snapshot directory already holds the seed's study serves it
-// without a single pipeline build.
+// TestSnapshotTierColdStart is the v1 warm-start acceptance test: a cold
+// server whose snapshot directory already holds the seed's study (in the
+// legacy format only) serves it without a single pipeline build — the v2
+// tier misses cleanly (no reject) and falls back to v1.
 func TestSnapshotTierColdStart(t *testing.T) {
 	dir := t.TempDir()
 	if err := snapshot.WriteSeed(dir, 1, testDB(t)); err != nil {
@@ -514,8 +544,8 @@ func TestSnapshotTierColdStart(t *testing.T) {
 		t.Errorf("pipeline builds = %d, want 0 (snapshot tier)", calls.Load())
 	}
 	stats := s.CacheStats()
-	if stats.Builds != 0 || stats.SnapshotLoads != 1 {
-		t.Errorf("stats = %+v, want Builds 0, SnapshotLoads 1", stats)
+	if stats.Builds != 0 || stats.SnapshotLoads != 1 || stats.Snapshot2Loads != 0 || stats.Snapshot2Rejects != 0 {
+		t.Errorf("stats = %+v, want Builds 0, SnapshotLoads 1, no v2 activity", stats)
 	}
 	code, body = get(t, s, "/metrics")
 	if code != http.StatusOK {
@@ -525,6 +555,67 @@ func TestSnapshotTierColdStart(t *testing.T) {
 		"avserve_snapshot_loads_total 1",
 		"avserve_snapshot_writes_total 0",
 		"avserve_snapshot_rejects_total 0",
+		"avserve_snapshot2_loads_total 0",
+		"avserve_snapshot2_writes_total 0",
+		"avserve_snapshot2_rejects_total 0",
+		"avserve_cache_builds_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestSnapshot2TierColdStart is the v2 warm-start acceptance test: with a
+// v2 columnar snapshot on disk, a cold server maps it and serves every
+// endpoint — including the whole-table ones that force lazy database
+// materialization — without a pipeline build or a v1 read.
+func TestSnapshot2TierColdStart(t *testing.T) {
+	dir := t.TempDir()
+	if err := snapshot2.WriteSeed(dir, 1, testDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	s, err := New(Config{Build: testBuilder(t, &calls, 0), CacheSize: 2, SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, s, "/v1/studies/1/disengagements?mfr=Waymo")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d (%s)", code, strings.TrimSpace(body))
+	}
+	var page query.EventPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 2 {
+		t.Errorf("v2-served page total = %d, want 2", page.Total)
+	}
+	// Whole-table endpoints exercise the lazy materialization path of a
+	// mapped study (Study.DB is nil; Study.Database() decodes once).
+	if code, body := get(t, s, "/v1/studies/1/accidents"); code != http.StatusOK {
+		t.Fatalf("accidents over v2 study: code = %d (%s)", code, strings.TrimSpace(body))
+	}
+	if code, body := get(t, s, "/v1/studies/1/metrics/reliability"); code != http.StatusOK {
+		t.Fatalf("reliability over v2 study: code = %d (%s)", code, strings.TrimSpace(body))
+	}
+	if code, body := get(t, s, "/v1/studies/1/tables/i"); code != http.StatusOK {
+		t.Fatalf("table over v2 study: code = %d (%s)", code, strings.TrimSpace(body))
+	}
+	if calls.Load() != 0 {
+		t.Errorf("pipeline builds = %d, want 0 (v2 tier)", calls.Load())
+	}
+	stats := s.CacheStats()
+	if stats.Builds != 0 || stats.Snapshot2Loads != 1 || stats.SnapshotLoads != 0 {
+		t.Errorf("stats = %+v, want Builds 0, Snapshot2Loads 1, SnapshotLoads 0", stats)
+	}
+	code, body = get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics code = %d", code)
+	}
+	for _, want := range []string{
+		"avserve_snapshot2_loads_total 1",
+		"avserve_snapshot_loads_total 0",
 		"avserve_cache_builds_total 0",
 	} {
 		if !strings.Contains(body, want) {
@@ -534,7 +625,8 @@ func TestSnapshotTierColdStart(t *testing.T) {
 }
 
 // TestSnapshotWriteThrough: a miss with an empty snapshot directory builds
-// once and persists the study, so the next cold server loads it.
+// once and persists the study as a v2 snapshot, so the next cold server
+// maps it.
 func TestSnapshotWriteThrough(t *testing.T) {
 	dir := t.TempDir()
 	var calls atomic.Int64
@@ -545,14 +637,15 @@ func TestSnapshotWriteThrough(t *testing.T) {
 	if code, _ := get(t, s, "/v1/studies/1/disengagements"); code != http.StatusOK {
 		t.Fatalf("first request failed")
 	}
-	if stats := s.CacheStats(); stats.Builds != 1 || stats.SnapshotWrites != 1 || stats.SnapshotLoads != 0 {
-		t.Errorf("first server stats = %+v, want Builds 1, SnapshotWrites 1", stats)
+	if stats := s.CacheStats(); stats.Builds != 1 || stats.Snapshot2Writes != 1 || stats.Snapshot2Loads != 0 {
+		t.Errorf("first server stats = %+v, want Builds 1, Snapshot2Writes 1", stats)
 	}
-	if _, err := os.Stat(snapshot.Path(dir, 1)); err != nil {
-		t.Fatalf("write-through left no snapshot: %v", err)
+	if _, err := os.Stat(snapshot2.Path(dir, 1)); err != nil {
+		t.Fatalf("write-through left no v2 snapshot: %v", err)
 	}
 
-	// A second cold process over the same directory warm-starts.
+	// A second cold process over the same directory warm-starts from the
+	// mapped v2 file.
 	var calls2 atomic.Int64
 	s2, err := New(Config{Build: testBuilder(t, &calls2, 0), CacheSize: 2, SnapshotDir: dir})
 	if err != nil {
@@ -564,14 +657,50 @@ func TestSnapshotWriteThrough(t *testing.T) {
 	if calls2.Load() != 0 {
 		t.Errorf("second server pipeline builds = %d, want 0", calls2.Load())
 	}
-	if stats := s2.CacheStats(); stats.Builds != 0 || stats.SnapshotLoads != 1 {
-		t.Errorf("second server stats = %+v, want Builds 0, SnapshotLoads 1", stats)
+	if stats := s2.CacheStats(); stats.Builds != 0 || stats.Snapshot2Loads != 1 {
+		t.Errorf("second server stats = %+v, want Builds 0, Snapshot2Loads 1", stats)
 	}
 }
 
-// TestSnapshotCorruptRejected: a bit-flipped snapshot is refused by its
-// checksum, counted as a reject, rebuilt from the pipeline, and replaced
-// on disk by the write-through.
+// TestSnapshotWriteThroughLegacy pins the v1 compatibility knob: with the
+// v2 tier disabled, write-through still produces v1 files and the next
+// cold server (also v1-only) loads them.
+func TestSnapshotWriteThroughLegacy(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	s, err := New(Config{Build: testBuilder(t, &calls, 0), CacheSize: 2, SnapshotDir: dir, DisableSnapshotV2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, s, "/v1/studies/1/disengagements"); code != http.StatusOK {
+		t.Fatalf("first request failed")
+	}
+	if stats := s.CacheStats(); stats.Builds != 1 || stats.SnapshotWrites != 1 || stats.Snapshot2Writes != 0 {
+		t.Errorf("legacy server stats = %+v, want Builds 1, SnapshotWrites 1, no v2 writes", stats)
+	}
+	if _, err := os.Stat(snapshot.Path(dir, 1)); err != nil {
+		t.Fatalf("legacy write-through left no v1 snapshot: %v", err)
+	}
+	if _, err := os.Stat(snapshot2.Path(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("legacy server wrote a v2 snapshot: stat err = %v", err)
+	}
+
+	var calls2 atomic.Int64
+	s2, err := New(Config{Build: testBuilder(t, &calls2, 0), CacheSize: 2, SnapshotDir: dir, DisableSnapshotV2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, s2, "/v1/studies/1/disengagements"); code != http.StatusOK {
+		t.Fatalf("second server request failed")
+	}
+	if stats := s2.CacheStats(); stats.Builds != 0 || stats.SnapshotLoads != 1 {
+		t.Errorf("second legacy server stats = %+v, want Builds 0, SnapshotLoads 1", stats)
+	}
+}
+
+// TestSnapshotCorruptRejected: a bit-flipped v1 snapshot is refused by its
+// checksum, counted as a reject, rebuilt from the pipeline, and superseded
+// on disk by the write-through (now in v2 format).
 func TestSnapshotCorruptRejected(t *testing.T) {
 	dir := t.TempDir()
 	path := snapshot.Path(dir, 1)
@@ -599,11 +728,66 @@ func TestSnapshotCorruptRejected(t *testing.T) {
 		t.Errorf("pipeline builds = %d, want 1 (corrupt snapshot rebuilt)", calls.Load())
 	}
 	stats := s.CacheStats()
-	if stats.SnapshotRejects != 1 || stats.Builds != 1 || stats.SnapshotWrites != 1 || stats.SnapshotLoads != 0 {
-		t.Errorf("stats = %+v, want Rejects 1, Builds 1, Writes 1, Loads 0", stats)
+	if stats.SnapshotRejects != 1 || stats.Builds != 1 || stats.Snapshot2Writes != 1 || stats.SnapshotLoads != 0 {
+		t.Errorf("stats = %+v, want Rejects 1, Builds 1, Snapshot2Writes 1, Loads 0", stats)
 	}
-	// The rebuild's write-through replaced the corrupt file: load it back.
-	if _, err := snapshot.ReadSeed(dir, 1); err != nil {
-		t.Errorf("post-rebuild snapshot still unreadable: %v", err)
+	// The rebuild's write-through persisted a good v2 file: open it back.
+	v, err := snapshot2.OpenSeed(dir, 1)
+	if err != nil {
+		t.Errorf("post-rebuild v2 snapshot unreadable: %v", err)
+	} else {
+		v.Close()
+	}
+}
+
+// TestSnapshot2CorruptFallsBackToV1 pins the full tier order: a corrupt v2
+// file is rejected by validation, the intact v1 file beneath it still
+// serves the study, and no pipeline build runs.
+func TestSnapshot2CorruptFallsBackToV1(t *testing.T) {
+	dir := t.TempDir()
+	db := testDB(t)
+	if err := snapshot.WriteSeed(dir, 1, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot2.WriteSeed(dir, 1, db); err != nil {
+		t.Fatal(err)
+	}
+	path := snapshot2.Path(dir, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	s, err := New(Config{Build: testBuilder(t, &calls, 0), CacheSize: 2, SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, s, "/v1/studies/1/disengagements"); code != http.StatusOK {
+		t.Fatalf("request over corrupt v2 snapshot failed")
+	}
+	if calls.Load() != 0 {
+		t.Errorf("pipeline builds = %d, want 0 (v1 fallback)", calls.Load())
+	}
+	stats := s.CacheStats()
+	if stats.Snapshot2Rejects != 1 || stats.SnapshotLoads != 1 || stats.Builds != 0 {
+		t.Errorf("stats = %+v, want Snapshot2Rejects 1, SnapshotLoads 1, Builds 0", stats)
+	}
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics code = %d", code)
+	}
+	for _, want := range []string{
+		"avserve_snapshot2_rejects_total 1",
+		"avserve_snapshot_loads_total 1",
+		"avserve_cache_builds_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,129 @@
+package snapshot2
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"avfda/internal/core"
+	"avfda/internal/pipeline"
+	"avfda/internal/query"
+	"avfda/internal/snapshot"
+	"avfda/internal/synth"
+)
+
+// buildStudy runs the full Stage I-IV pipeline for a seed — the cost both
+// snapshot tiers exist to avoid.
+func buildStudy(tb testing.TB, seed int64) *core.DB {
+	tb.Helper()
+	cfg := pipeline.DefaultConfig()
+	cfg.Synth = synth.Config{Seed: seed}
+	cfg.OCR.Seed = seed
+	res, err := pipeline.Run(context.Background(), cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res.DB
+}
+
+// openV2 is the cold-open path avserve's v2 tier takes: map, validate, and
+// stand a query engine directly on the columns — no deserialization.
+func openV2(tb testing.TB, dir string, seed int64) (*View, *query.Engine) {
+	tb.Helper()
+	v, err := OpenSeed(dir, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng, err := query.NewFromSource(v, v.Database)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return v, eng
+}
+
+// BenchmarkSnapshotV2Load measures the v2 warm-start path on the
+// calibrated seed-1 study: map the file, checksum + structural validation,
+// and engine construction over the raw columns. Compare against the v1
+// pair in internal/snapshot (BenchmarkSnapshotLoad, deserializing, and
+// BenchmarkSnapshotPipelineRebuild); the acceptance bar — v2 at least 10x
+// faster than v1 — is pinned by TestSnapshotV2LoadSpeedup. The snapshot's
+// byte size is reported alongside ns/op for the perf-trajectory artifact.
+func BenchmarkSnapshotV2Load(b *testing.B) {
+	dir := b.TempDir()
+	if err := WriteSeed(dir, 1, buildStudy(b, 1)); err != nil {
+		b.Fatal(err)
+	}
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _ := openV2(b, dir, 1)
+		size = v.Size()
+		v.Close()
+	}
+	b.ReportMetric(float64(size), "bytes")
+}
+
+// BenchmarkSnapshotV2Write measures the export cost avpipe -snapshot-out
+// and the cache's v2 write-through tier pay per study.
+func BenchmarkSnapshotV2Write(b *testing.B) {
+	db := buildStudy(b, 1)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteSeed(dir, 1, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotV2LoadSpeedup pins the performance contract that justifies
+// the second format: cold-opening a v2 snapshot into a serving engine must
+// be at least 10x faster than the v1 deserializing load of the same study.
+// Both sides are measured in this process on the calibrated seed-1 study,
+// each iteration doing everything its cache tier does on a miss.
+func TestSnapshotV2LoadSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build in -short mode")
+	}
+	dir := t.TempDir()
+	db := buildStudy(t, 1)
+	if err := snapshot.WriteSeed(dir, 1, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSeed(dir, 1, db); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the page cache on both files so the comparison is CPU-bound, the
+	// regime that dominates once a replica has run for more than a moment.
+	if _, err := snapshot.ReadSeed(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := openV2(t, dir, 1)
+	v.Close()
+
+	const loads = 5
+	start := time.Now()
+	for i := 0; i < loads; i++ {
+		dbV1, err := snapshot.ReadSeed(dir, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := query.New(dbV1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1 := time.Since(start) / loads
+
+	start = time.Now()
+	for i := 0; i < loads; i++ {
+		v, _ := openV2(t, dir, 1)
+		v.Close()
+	}
+	v2 := time.Since(start) / loads
+
+	t.Logf("v1 deserializing load %v, v2 mapped open %v (%.0fx)", v1, v2, float64(v1)/float64(v2))
+	if v2*10 > v1 {
+		t.Errorf("v2 open %v is not 10x faster than v1 load %v", v2, v1)
+	}
+}

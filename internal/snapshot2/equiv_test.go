@@ -1,0 +1,165 @@
+package snapshot2
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"avfda/internal/query"
+)
+
+// jsonBytes renders v the way the avserve API would, so "results are
+// byte-identical" is checked at the serialization boundary clients see.
+func jsonBytes(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSnapshotV2QueryEquivalence is the contract that lets avserve swap a
+// mapped View in where a deserialized database used to be: an engine
+// backed by the v2 columns answers every query byte-identically to an
+// engine built fresh on the original in-memory database. 250 randomized
+// filters sweep the full query surface — event pages, accident pages,
+// group counts over the typed columns and the dataframe-fallback columns,
+// counts, indexed-vs-scan selection, reliability metrics, and CSV export.
+func TestSnapshotV2QueryEquivalence(t *testing.T) {
+	db := testDB(11, 400, 40)
+	data, err := Encode(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := query.New(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := query.NewFromSource(v, v.Database)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != mapped.Len() {
+		t.Fatalf("Len: fresh %d, mapped %d", fresh.Len(), mapped.Len())
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	pick := func(opts ...string) string { return opts[rng.Intn(len(opts))] }
+	groupBys := append(query.GroupColumns(), "cause", "vehicle", "reportYear")
+	for i := 0; i < 250; i++ {
+		f := query.Filter{
+			Manufacturer: pick("", "Waymo", "bosch", "Delphi", "Nissan"),
+			Tag:          pick("", "Planner", "software", "Recognition System"),
+			Category:     pick("", "ML/Design", "system"),
+			Road:         pick("", "highway", "city street"),
+			Weather:      pick("", "raining", "sunny"),
+			Modality:     pick("", "manual", "automatic"),
+			From:         pick("", "2015-01", "2015-06"),
+			To:           pick("", "2015-12", "2016-06"),
+		}
+		page := query.Page{Offset: rng.Intn(20), Limit: 1 + rng.Intn(50)}
+
+		wantN, err := fresh.Count(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, err := mapped.Count(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantN != gotN {
+			t.Fatalf("filter %+v: count fresh %d, mapped %d", f, wantN, gotN)
+		}
+
+		wantEv, err := fresh.Events(f, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEv, err := mapped.Events(f, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jsonBytes(t, wantEv), jsonBytes(t, gotEv)) {
+			t.Fatalf("filter %+v: event pages diverge", f)
+		}
+
+		wantAcc, err := fresh.Accidents(f, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAcc, err := mapped.Accidents(f, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jsonBytes(t, wantAcc), jsonBytes(t, gotAcc)) {
+			t.Fatalf("filter %+v: accident pages diverge", f)
+		}
+
+		by := groupBys[rng.Intn(len(groupBys))]
+		wantGr, err := fresh.GroupCount(f, by)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotGr, err := mapped.GroupCount(f, by)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jsonBytes(t, wantGr), jsonBytes(t, gotGr)) {
+			t.Fatalf("filter %+v by %s: group counts diverge", f, by)
+		}
+
+		// The mapped engine's posting lists must agree with its own scan
+		// path, the same invariant the in-heap indexes are held to.
+		indexed, err := mapped.Select(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, err := mapped.SelectScan(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(indexed, scanned) {
+			t.Fatalf("filter %+v: mapped engine's index disagrees with scan", f)
+		}
+
+		if i%25 == 0 {
+			var wantCSV, gotCSV bytes.Buffer
+			wantFr, err := fresh.Frame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotFr, err := mapped.Frame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wantFr.WriteCSV(&wantCSV); err != nil {
+				t.Fatal(err)
+			}
+			if err := gotFr.WriteCSV(&gotCSV); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantCSV.Bytes(), gotCSV.Bytes()) {
+				t.Fatalf("filter %+v: CSV export diverges", f)
+			}
+		}
+	}
+
+	wantRel, err := fresh.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRel, err := mapped.Reliability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonBytes(t, wantRel), jsonBytes(t, gotRel)) {
+		t.Fatal("reliability metrics diverge")
+	}
+}

@@ -1,0 +1,82 @@
+package snapshot2
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSnapshot2Read hardens the v2 reader against arbitrary input:
+// whatever bytes land in the file, Open must either return a valid View or
+// one of the typed corruption errors (*FormatError, *VersionError,
+// *ChecksumError) — never panic, never fault on a page access, never hand
+// back a view alongside an error. The seed corpus covers the boundary
+// inputs from the property tests: a fully valid snapshot, header and
+// payload truncations, single-bit flips in the version, checksum, section
+// directory, and payload regions, re-sealed section-offset corruption
+// (valid checksum over a broken directory), and trailing garbage.
+func FuzzSnapshot2Read(f *testing.F) {
+	valid, err := Encode(testDB(7, 12, 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))                  // bare magic, truncated header
+	f.Add(valid[:headerLen])              // header only, missing payload
+	f.Add(valid[:headerLen+len(valid)/4]) // mid-payload truncation
+	f.Add(append(bytes.Clone(valid), 0))  // trailing byte
+	for _, i := range []int{len(magic), len(magic) + 2, len(magic) + 10, headerLen, headerLen + 8, len(valid) - 1} {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+	// Section-offset corruption behind a valid checksum: the directory
+	// validators, not the CRC, must catch a broken tiling.
+	payload := bytes.Clone(valid[headerLen:])
+	off := binary.LittleEndian.Uint64(payload[4+20+4:])
+	binary.LittleEndian.PutUint64(payload[4+20+4:], off+1)
+	f.Add(reseal(valid, payload))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.avsnap2")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		v, err := Open(path)
+		if err != nil {
+			if !typedSnapshotError(err) {
+				t.Fatalf("untyped error for %d-byte input: %v", len(data), err)
+			}
+			if v != nil {
+				t.Fatalf("Open returned both a view and error %v", err)
+			}
+			return
+		}
+		if v == nil {
+			t.Fatal("Open returned nil view and nil error")
+		}
+		// A view that validated must be fully usable: every row readable,
+		// every posting row id in range, and the materialized database must
+		// re-encode — what the reader accepts, the writer can represent.
+		for i := 0; i < v.NumRows(); i++ {
+			_ = v.Manufacturer(i)
+			_ = v.Time(i)
+			_ = v.ReactionSeconds(i)
+		}
+		db, err := v.Database()
+		if err != nil {
+			t.Fatalf("validated view failed to materialize: %v", err)
+		}
+		reenc, err := Encode(db)
+		if err != nil {
+			t.Fatalf("materialized database does not re-encode: %v", err)
+		}
+		if _, err := NewView(reenc); err != nil {
+			t.Fatalf("re-encoded database does not validate: %v", err)
+		}
+		v.Close()
+	})
+}

@@ -1,0 +1,18 @@
+package snapshot2
+
+import "os"
+
+// OpenSeed opens the canonical v2 snapshot for a study seed inside dir.
+func OpenSeed(dir string, seed int64) (*View, error) {
+	return Open(Path(dir, seed))
+}
+
+// openHeap reads the whole file into memory and validates it — the
+// portable load path, also the fallback when mapping is unavailable.
+func openHeap(path string) (*View, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewView(data)
+}
