@@ -9,7 +9,7 @@ LOAD_DURATION ?= 10s
 BENCH_DATE := $(shell date +%F)
 FUZZ_TIME ?= 10s
 
-.PHONY: build vet test race lint fuzz bench bench-json fmt serve load-smoke ci
+.PHONY: build vet test race lint fuzz bench bench-json fmt serve load-smoke proxy-smoke ci
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,24 @@ load-smoke:
 	exit $$status
 	$(GO) test -bench '$(BENCH_SMOKE)' -benchtime 1x -run '^$$' ./... \
 		| ./bin/benchjson -load load-report.json -o BENCH_$(BENCH_DATE).json
+	@echo "wrote BENCH_$(BENCH_DATE).json"
+
+# Sharded serving smoke (the proxy-smoke CI job): 1 avserve -proxy over 2
+# backends, the second peered to the first for snapshot pull-through. The
+# script proves shard routing, 304 revalidation through the proxy,
+# byte-identical answers from either backend, and a zero-build peer
+# warm-start (see scripts/proxy_smoke.sh for the full checklist), then the
+# two avload reports are folded into BENCH_<date>.json next to whatever
+# keys it already carries.
+proxy-smoke:
+	$(GO) build -o bin/avserve ./cmd/avserve
+	$(GO) build -o bin/avload ./cmd/avload
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	sh scripts/proxy_smoke.sh
+	./bin/benchjson -merge BENCH_$(BENCH_DATE).json \
+		-load ServeDirect=proxy-single-report.json \
+		-load ProxyLoad=proxy-report.json \
+		-o BENCH_$(BENCH_DATE).json < /dev/null
 	@echo "wrote BENCH_$(BENCH_DATE).json"
 
 fmt:

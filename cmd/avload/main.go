@@ -9,6 +9,7 @@
 //	avload [-url http://127.0.0.1:8080] [-mix default|scan|metrics|file.json]
 //	       [-duration 10s] [-c 8] [-rate 0] [-n 0]
 //	       [-seeds 1,2] [-cold-every 0] [-cold-seed-start 1000000]
+//	       [-conditional-every 0]
 //	       [-timeout 10s] [-warmup 2m] [-seed 1]
 //	       [-json] [-o report.json] [-fail-on-errors] [-print-mix]
 //
@@ -65,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seedsCSV := fs.String("seeds", "1", "comma-separated warm study seeds")
 	coldEvery := fs.Int("cold-every", 0, "every Nth request targets a fresh cold seed (0 = warm only)")
 	coldSeedStart := fs.Int64("cold-seed-start", 1_000_000, "first cold seed")
+	conditionalEvery := fs.Int("conditional-every", 0, "every Nth request replays a seen URL with If-None-Match (0 = never)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	warmup := fs.Duration("warmup", 2*time.Minute, "deadline for priming warm seeds before measuring (0 = skip warmup)")
 	genSeed := fs.Int64("seed", 1, "generator seed: equal seeds give equal request schedules")
@@ -90,17 +92,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	cfg := loadgen.Config{
-		BaseURL:       *url,
-		Mix:           mix,
-		Seeds:         seeds,
-		ColdEvery:     *coldEvery,
-		ColdSeedStart: *coldSeedStart,
-		Concurrency:   *concurrency,
-		Rate:          *rate,
-		Duration:      *duration,
-		MaxRequests:   *maxRequests,
-		Timeout:       *timeout,
-		Seed:          *genSeed,
+		BaseURL:          *url,
+		Mix:              mix,
+		Seeds:            seeds,
+		ColdEvery:        *coldEvery,
+		ColdSeedStart:    *coldSeedStart,
+		ConditionalEvery: *conditionalEvery,
+		Concurrency:      *concurrency,
+		Rate:             *rate,
+		Duration:         *duration,
+		MaxRequests:      *maxRequests,
+		Timeout:          *timeout,
+		Seed:             *genSeed,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

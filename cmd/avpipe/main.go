@@ -96,7 +96,7 @@ func writeSnapshot(db *core.DB, dir string, seed int64) error {
 	if dir == "" {
 		return nil
 	}
-	if err := snapshot2.WriteSeed(dir, seed, db); err != nil {
+	if _, err := snapshot2.WriteSeed(dir, seed, db); err != nil {
 		return err
 	}
 	if err := snapshot.WriteSeed(dir, seed, db); err != nil {

@@ -7,12 +7,25 @@
 // Usage:
 //
 //	avserve [-addr :8080] [-cache 4] [-workers 0] [-snapshot-dir snapshots/]
-//	        [-snapshot-v2] [-request-timeout 60s] [-read-timeout 10s]
+//	        [-snapshot-v2] [-peers http://h1:8080,http://h2:8080]
+//	        [-fetch-timeout 10s] [-request-timeout 60s] [-read-timeout 10s]
 //	        [-write-timeout 90s] [-shutdown-timeout 10s] [-duration 0]
+//
+//	avserve -proxy -backends http://h1:8080,http://h2:8080 [-replicate 2]
+//	        [-addr :8080] [-read-timeout 10s] [-write-timeout 90s]
+//	        [-shutdown-timeout 10s] [-duration 0]
 //
 // With -duration > 0 the server shuts down cleanly after that long even
 // without a signal — the self-terminating mode harnesses like `make
 // load-smoke` use to bound an end-to-end run.
+//
+// In -proxy mode the process serves no studies itself: it routes
+// /v1/studies/{seed}/... and /v1/snapshots/{seed} across -backends by
+// consistent hashing on the seed, spreading each seed over -replicate
+// backends and retrying the next replica on transport failure. Backends
+// given -peers pull missing seeds' v2 snapshots from each other (CRC
+// re-verified on receipt) before falling back to a pipeline build, so a
+// restarted shard warm-starts from the fleet instead of rebuilding.
 //
 // The first request for a seed builds that study (seconds of CPU); the
 // build is shared by every concurrent request for the seed and cached for
@@ -33,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,24 +76,44 @@ func run(args []string) error {
 	writeTimeout := fs.Duration("write-timeout", 90*time.Second, "HTTP server write timeout (must exceed a cold study build)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "drain deadline on SIGINT/SIGTERM")
 	duration := fs.Duration("duration", 0, "serve for this long, then shut down cleanly (0 = until signaled); for harnesses like make load-smoke")
+	proxy := fs.Bool("proxy", false, "run as a seed-sharding proxy over -backends instead of serving studies")
+	backends := fs.String("backends", "", "comma-separated backend base URLs for -proxy mode")
+	replicate := fs.Int("replicate", 2, "backends each seed may be served from in -proxy mode (spill + retry)")
+	peers := fs.String("peers", "", "comma-separated peer base URLs to pull missing v2 snapshots from (requires -snapshot-dir)")
+	fetchTimeout := fs.Duration("fetch-timeout", 10*time.Second, "per-peer snapshot fetch timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	server, err := serve.New(serve.Config{
-		Build:             studyBuilder(*workers),
-		CacheSize:         *cacheSize,
-		RequestTimeout:    *requestTimeout,
-		SnapshotDir:       *snapDir,
-		DisableSnapshotV2: !*snapV2,
-	})
-	if err != nil {
-		return err
+	var handler http.Handler
+	if *proxy {
+		p, err := serve.NewProxy(serve.ProxyConfig{
+			Backends: splitList(*backends),
+			Replicas: *replicate,
+		})
+		if err != nil {
+			return err
+		}
+		handler = p
+	} else {
+		server, err := serve.New(serve.Config{
+			Build:                studyBuilder(*workers),
+			CacheSize:            *cacheSize,
+			RequestTimeout:       *requestTimeout,
+			SnapshotDir:          *snapDir,
+			DisableSnapshotV2:    !*snapV2,
+			SnapshotPeers:        splitList(*peers),
+			SnapshotFetchTimeout: *fetchTimeout,
+		})
+		if err != nil {
+			return err
+		}
+		handler = server
 	}
 
 	httpServer := &http.Server{
 		Addr:         *addr,
-		Handler:      server,
+		Handler:      handler,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 	}
@@ -97,8 +131,13 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "avserve: listening on %s (cache=%d workers=%d)\n",
-			*addr, *cacheSize, *workers)
+		if *proxy {
+			fmt.Fprintf(os.Stderr, "avserve: proxying on %s (backends=%s replicate=%d)\n",
+				*addr, *backends, *replicate)
+		} else {
+			fmt.Fprintf(os.Stderr, "avserve: listening on %s (cache=%d workers=%d)\n",
+				*addr, *cacheSize, *workers)
+		}
 		errc <- httpServer.ListenAndServe()
 	}()
 
@@ -117,6 +156,18 @@ func run(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries so
+// "", "a,b", and "a, b," all do the obvious thing.
+func splitList(csv string) []string {
+	var out []string
+	for _, s := range strings.Split(csv, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // studyBuilder runs the full calibrated pipeline for a seed, threading the

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -249,5 +250,91 @@ func TestRunSelfTerminates(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("run did not self-terminate")
+	}
+}
+
+// TestRunProxyMode boots the real binary wiring in -proxy mode over two
+// stub backends and checks the proxy role end to end: local /healthz,
+// study traffic forwarded with the seed's URI intact, and a clean
+// self-terminating exit.
+func TestRunProxyMode(t *testing.T) {
+	backend := func(name string) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]string{"backend": name, "uri": r.URL.RequestURI()})
+		}))
+	}
+	b1, b2 := backend("b1"), backend("b2")
+	defer b1.Close()
+	defer b2.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-proxy", "-backends", b1.URL + "," + b2.URL,
+			"-addr", addr, "-duration", "3s",
+		})
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				if !strings.Contains(string(body), `"proxy"`) {
+					t.Fatalf("/healthz = %s, want the proxy role", body)
+				}
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("proxy never became healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/studies/7/disengagements?limit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var echoed map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&echoed); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if echoed["backend"] != "b1" && echoed["backend"] != "b2" {
+		t.Errorf("forwarded to %q, want a configured backend", echoed["backend"])
+	}
+	if echoed["uri"] != "/v1/studies/7/disengagements?limit=3" {
+		t.Errorf("backend saw URI %q", echoed["uri"])
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("proxy run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("proxy did not self-terminate")
+	}
+}
+
+// TestRunProxyConfigErrors: -proxy without backends is a startup error,
+// not a proxy that 502s everything.
+func TestRunProxyConfigErrors(t *testing.T) {
+	if err := run([]string{"-proxy"}); err == nil {
+		t.Error("-proxy without -backends: want error")
+	}
+	if err := run([]string{"-proxy", "-backends", " , "}); err == nil {
+		t.Error("-proxy with blank backends: want error")
 	}
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	go test -bench ... | benchjson [-o BENCH_2026-08-05.json] [-load report.json]
+//	          [-merge BENCH_2026-08-05.json]
 //
 // Without -o the JSON goes to stdout. The GOMAXPROCS suffix go test
 // appends to benchmark names (e.g. BenchmarkSnapshotLoad-8) is stripped so
@@ -25,7 +26,11 @@
 // in nanoseconds to match the micro-benchmarks, plus rps and error/request
 // counts — so a single BENCH_<date>.json carries the micro and serving
 // perf trajectory together. With -load, benchmark input on stdin is
-// optional (pipe /dev/null to fold a report alone).
+// optional (pipe /dev/null to fold a report alone). -load repeats, and an
+// entry may carry a key prefix as `Prefix=path` — `-load serve.json -load
+// ProxyLoad=proxy.json` folds the first under ServeLoad/ (the default) and
+// the second under ProxyLoad/, which is how the proxy-smoke harness lands
+// the single-backend and sharded runs side by side in one artifact.
 package main
 
 import (
@@ -42,26 +47,58 @@ import (
 	"avfda/internal/loadgen"
 )
 
+// loadList collects repeated -load flags.
+type loadList []string
+
+func (l *loadList) String() string     { return strings.Join(*l, ",") }
+func (l *loadList) Set(v string) error { *l = append(*l, v); return nil }
+
 func main() {
 	out := flag.String("o", "", "write the JSON here instead of stdout")
-	load := flag.String("load", "", "fold this avload -json report into the output under ServeLoad/ keys")
+	merge := flag.String("merge", "", "start from this existing BENCH json, overlaying stdin and -load keys (missing file = empty start)")
+	var loads loadList
+	flag.Var(&loads, "load", "fold an avload -json report into the output (repeatable; [Prefix=]path, default prefix ServeLoad)")
 	flag.Parse()
 
-	if err := run(*out, *load, os.Stdin, os.Stdout); err != nil {
+	if err := run(*out, *merge, loads, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-// run reads benchmark text from stdin and an optional avload report, then
-// writes the merged flat JSON map.
-func run(outPath, loadPath string, stdin io.Reader, stdout io.Writer) error {
+// run reads benchmark text from stdin and any avload reports, then writes
+// the merged flat JSON map. With -merge, keys from an earlier artifact
+// survive so separate harnesses (bench-json, load-smoke, proxy-smoke) can
+// each fold their slice into one BENCH_<date>.json.
+func run(outPath, mergePath string, loads []string, stdin io.Reader, stdout io.Writer) error {
+	base := make(map[string]float64)
+	if mergePath != "" {
+		raw, err := os.ReadFile(mergePath)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(raw, &base); err != nil {
+				return fmt.Errorf("parse -merge file %s: %w", mergePath, err)
+			}
+		case os.IsNotExist(err):
+			// First harness to run: nothing to merge yet.
+		default:
+			return fmt.Errorf("read -merge file: %w", err)
+		}
+	}
 	results, err := parse(stdin)
 	if err != nil {
 		return err
 	}
-	if loadPath != "" {
-		folded, err := loadReport(loadPath)
+	for k, v := range results {
+		base[k] = v
+	}
+	results = base
+	for _, entry := range loads {
+		prefix, path := "ServeLoad", entry
+		if name, rest, ok := strings.Cut(entry, "="); ok {
+			prefix, path = name, rest
+		}
+		folded, err := loadReport(path, prefix)
 		if err != nil {
 			return err
 		}
@@ -84,11 +121,11 @@ func run(outPath, loadPath string, stdin io.Reader, stdout io.Writer) error {
 	return write(w, results)
 }
 
-// loadReport flattens an avload/1 report into BENCH-style metrics. Latency
-// keys carry a _ns suffix (converted from the report's milliseconds) so
-// they read on the same axis as ns/op micro-benchmarks; counters and rps
-// are dimensioned by their suffix.
-func loadReport(path string) (map[string]float64, error) {
+// loadReport flattens an avload/1 report into BENCH-style metrics under
+// the given key prefix. Latency keys carry a _ns suffix (converted from
+// the report's milliseconds) so they read on the same axis as ns/op
+// micro-benchmarks; counters and rps are dimensioned by their suffix.
+func loadReport(path, prefix string) (map[string]float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("read -load report: %w", err)
@@ -102,19 +139,22 @@ func loadReport(path string) (map[string]float64, error) {
 	}
 	const msToNs = 1e6
 	out := map[string]float64{
-		"ServeLoad/rps":           rep.RPS,
-		"ServeLoad/requests":      float64(rep.Requests),
-		"ServeLoad/cold_requests": float64(rep.ColdRequests),
-		"ServeLoad/errors":        float64(rep.Errors),
-		"ServeLoad/p50_ns":        rep.Latency.P50ms * msToNs,
-		"ServeLoad/p90_ns":        rep.Latency.P90ms * msToNs,
-		"ServeLoad/p99_ns":        rep.Latency.P99ms * msToNs,
-		"ServeLoad/p999_ns":       rep.Latency.P999ms * msToNs,
-		"ServeLoad/mean_ns":       rep.Latency.MeanMs * msToNs,
+		prefix + "/rps":           rep.RPS,
+		prefix + "/requests":      float64(rep.Requests),
+		prefix + "/cold_requests": float64(rep.ColdRequests),
+		prefix + "/errors":        float64(rep.Errors),
+		prefix + "/p50_ns":        rep.Latency.P50ms * msToNs,
+		prefix + "/p90_ns":        rep.Latency.P90ms * msToNs,
+		prefix + "/p99_ns":        rep.Latency.P99ms * msToNs,
+		prefix + "/p999_ns":       rep.Latency.P999ms * msToNs,
+		prefix + "/mean_ns":       rep.Latency.MeanMs * msToNs,
+	}
+	if rep.NotModified > 0 {
+		out[prefix+"/not_modified"] = float64(rep.NotModified)
 	}
 	for _, op := range rep.Ops {
 		if op.Requests > 0 {
-			out["ServeLoad/op/"+op.Name+"/p99_ns"] = op.P99ms * msToNs
+			out[prefix+"/op/"+op.Name+"/p99_ns"] = op.P99ms * msToNs
 		}
 	}
 	return out, nil

@@ -86,7 +86,7 @@ func TestRunFoldsLoadReport(t *testing.T) {
 
 	bench := "BenchmarkSnapshotLoad-8 \t 10\t 7106071 ns/op\n"
 	var out strings.Builder
-	if err := run("", path, strings.NewReader(bench), &out); err != nil {
+	if err := run("", "", []string{path}, strings.NewReader(bench), &out); err != nil {
 		t.Fatal(err)
 	}
 	var got map[string]float64
@@ -117,11 +117,102 @@ func TestRunFoldsLoadReport(t *testing.T) {
 	}
 
 	// With -load, empty stdin is fine; without it, it stays an error.
-	if err := run("", path, strings.NewReader(""), &strings.Builder{}); err != nil {
+	if err := run("", "", []string{path}, strings.NewReader(""), &strings.Builder{}); err != nil {
 		t.Errorf("empty stdin with -load: %v", err)
 	}
-	if err := run("", "", strings.NewReader(""), &strings.Builder{}); err == nil {
+	if err := run("", "", nil, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Error("empty stdin without -load: want error")
+	}
+}
+
+// Repeated -load entries with Prefix=path keys land side by side under
+// their own prefixes — the proxy-smoke artifact shape.
+func TestRunFoldsMultipleNamedReports(t *testing.T) {
+	dir := t.TempDir()
+	writeReport := func(name string, rps float64, notModified int64) string {
+		rep := loadgen.Report{
+			Schema:      loadgen.ReportSchema,
+			Requests:    100,
+			RPS:         rps,
+			NotModified: notModified,
+			Latency:     loadgen.LatencyStats{P50ms: 1, P90ms: 2, P99ms: 3, P999ms: 4, MeanMs: 1},
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	serve := writeReport("serve.json", 100, 0)
+	proxy := writeReport("proxy.json", 180, 12)
+
+	var out strings.Builder
+	err := run("", "", []string{serve, "ProxyLoad=" + proxy}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["ServeLoad/rps"] != 100 || got["ProxyLoad/rps"] != 180 {
+		t.Errorf("rps keys = %v / %v, want 100 / 180", got["ServeLoad/rps"], got["ProxyLoad/rps"])
+	}
+	if got["ProxyLoad/not_modified"] != 12 {
+		t.Errorf("ProxyLoad/not_modified = %v, want 12", got["ProxyLoad/not_modified"])
+	}
+	if _, ok := got["ServeLoad/not_modified"]; ok {
+		t.Error("ServeLoad/not_modified present for a report with zero 304s")
+	}
+}
+
+// -merge seeds the output from an existing artifact so a later harness
+// adds its keys without erasing the earlier ones; stdin and -load keys win
+// on collision, and a missing merge file is an empty start, not an error.
+func TestRunMergesExistingArtifact(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "BENCH.json")
+	if err := os.WriteFile(benchPath, []byte(`{"Snapshot2/load_ns": 164551, "ServeLoad/rps": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := loadgen.Report{
+		Schema:  loadgen.ReportSchema,
+		RPS:     250,
+		Latency: loadgen.LatencyStats{P50ms: 1, P90ms: 2, P99ms: 3, P999ms: 4, MeanMs: 1},
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPath := filepath.Join(dir, "report.json")
+	if err := os.WriteFile(repPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run("", benchPath, []string{repPath}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["Snapshot2/load_ns"] != 164551 {
+		t.Errorf("merged key lost: %v", got)
+	}
+	if got["ServeLoad/rps"] != 250 {
+		t.Errorf("ServeLoad/rps = %v, want the fresh report (250) to win", got["ServeLoad/rps"])
+	}
+
+	if err := run("", filepath.Join(dir, "absent.json"), []string{repPath}, strings.NewReader(""), &strings.Builder{}); err != nil {
+		t.Errorf("missing -merge file should be an empty start: %v", err)
+	}
+	if err := run("", repPath, nil, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("-merge over a non-BENCH json: want parse error")
 	}
 }
 
@@ -137,11 +228,11 @@ func TestRunRejectsBadLoadReport(t *testing.T) {
 		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := run("", path, strings.NewReader(""), &strings.Builder{}); err == nil {
+		if err := run("", "", []string{path}, strings.NewReader(""), &strings.Builder{}); err == nil {
 			t.Errorf("%s: want error", name)
 		}
 	}
-	if err := run("", filepath.Join(dir, "missing.json"), strings.NewReader(""), &strings.Builder{}); err == nil {
+	if err := run("", "", []string{filepath.Join(dir, "missing.json")}, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Error("missing -load file: want error")
 	}
 }

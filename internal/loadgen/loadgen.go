@@ -50,6 +50,12 @@ type Config struct {
 	// ColdSeedStart is the first cold seed. Default 1_000_000, far from
 	// any warm pool.
 	ColdSeedStart int64
+	// ConditionalEvery, when > 0, makes every ConditionalEvery-th request
+	// a conditional replay: the worker re-issues a URL it has already seen
+	// with If-None-Match set to the ETag that response carried, exercising
+	// the server's 304 short-circuit. A 304 counts as a success (and in
+	// Report.NotModified), not an error. 0 disables conditional traffic.
+	ConditionalEvery int
 	// Concurrency is the worker count (and, closed-loop, the number of
 	// outstanding requests). Default 8.
 	Concurrency int
@@ -110,6 +116,7 @@ type Report struct {
 	Requests        int64            `json:"requests"`
 	RPS             float64          `json:"rps"`
 	ColdRequests    int64            `json:"coldRequests"`
+	NotModified     int64            `json:"notModified,omitempty"`
 	Errors          int64            `json:"errors"`
 	TransportErrors int64            `json:"transportErrors"`
 	StatusNon2xx    map[string]int64 `json:"statusNon2xx,omitempty"`
@@ -143,14 +150,15 @@ const ReportSchema = "avload/1"
 // shards are merged after every worker has exited, so no locks are taken
 // on the request path.
 type workerStats struct {
-	hist      Histogram
-	ops       []Histogram
-	opReqs    []int64
-	opErrs    []int64
-	non2xx    map[int]int64
-	transport int64
-	requests  int64
-	cold      int64
+	hist        Histogram
+	ops         []Histogram
+	opReqs      []int64
+	opErrs      []int64
+	non2xx      map[int]int64
+	transport   int64
+	requests    int64
+	cold        int64
+	notModified int64
 }
 
 func newWorkerStats(nOps int) *workerStats {
@@ -207,6 +215,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				deadline: deadline,
 				rng:      rand.New(rand.NewSource(workerSeed(cfg.Seed, w))),
 				stats:    shards[w],
+				etags:    make(map[string]string),
 			}
 			if cfg.Rate > 0 {
 				rt.openLoop(ctx, w, start)
@@ -239,7 +248,15 @@ type runtimeState struct {
 	deadline time.Time
 	rng      *rand.Rand
 	stats    *workerStats
+	// etags remembers, per URL this worker has fetched, the validator its
+	// response carried — the material for conditional replays. Worker-local
+	// so the request path stays lock-free.
+	etags map[string]string
 }
+
+// maxRememberedETags bounds the per-worker validator memory; mixes with
+// randomized offsets could otherwise grow it without limit.
+const maxRememberedETags = 4096
 
 // claim reserves the next request slot, or reports the run is over.
 func (rt *runtimeState) claim(ctx context.Context) (int64, bool) {
@@ -299,7 +316,8 @@ func (rt *runtimeState) openLoop(ctx context.Context, w int, start time.Time) {
 	}
 }
 
-// issue picks the op and seed for request n and performs it.
+// issue picks the op and seed for request n and performs it, replaying
+// with a remembered validator on conditional turns.
 func (rt *runtimeState) issue(n int64) (opIdx, code int, err error) {
 	seed, cold := rt.pickSeed(n)
 	if cold {
@@ -307,7 +325,14 @@ func (rt *runtimeState) issue(n int64) (opIdx, code int, err error) {
 	}
 	opIdx = rt.cfg.Mix.pick(rt.rng)
 	url := rt.base + resolvePath(rt.cfg.Mix.Ops[opIdx].Path, seed, rt.rng)
-	code, err = doRequest(rt.client, url)
+	var inm string
+	if rt.cfg.ConditionalEvery > 0 && n%int64(rt.cfg.ConditionalEvery) == 0 {
+		inm = rt.etags[url]
+	}
+	code, etag, err := doRequest(rt.client, url, inm)
+	if err == nil && etag != "" && len(rt.etags) < maxRememberedETags {
+		rt.etags[url] = etag
+	}
 	return opIdx, code, err
 }
 
@@ -330,22 +355,35 @@ func (rt *runtimeState) record(opIdx int, lat time.Duration, code int, err error
 	}
 	rt.stats.hist.RecordDuration(lat)
 	rt.stats.ops[opIdx].RecordDuration(lat)
-	if code < 200 || code > 299 {
+	switch {
+	case code == http.StatusNotModified:
+		// A 304 only arises from a conditional replay, and it is the
+		// desired outcome: the validator held and no query ran.
+		rt.stats.notModified++
+	case code < 200 || code > 299:
 		rt.stats.non2xx[code]++
 		rt.stats.opErrs[opIdx]++
 	}
 }
 
-// doRequest performs one GET, fully draining the body so the connection
-// returns to the keep-alive pool.
-func doRequest(client *http.Client, url string) (int, error) {
-	resp, err := client.Get(url)
+// doRequest performs one GET — conditional when ifNoneMatch is set —
+// fully draining the body so the connection returns to the keep-alive
+// pool, and reports any validator the response carried.
+func doRequest(client *http.Client, url, ifNoneMatch string) (code int, etag string, err error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return 0, err
+		return 0, "", err
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	_ = resp.Body.Close()
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get("ETag"), nil
 }
 
 // buildReport merges worker shards into the final report.
@@ -356,6 +394,7 @@ func buildReport(cfg Config, shards []*workerStats, elapsed time.Duration) *Repo
 		merged.requests += s.requests
 		merged.transport += s.transport
 		merged.cold += s.cold
+		merged.notModified += s.notModified
 		for i := range s.ops {
 			merged.ops[i].Merge(&s.ops[i])
 			merged.opReqs[i] += s.opReqs[i]
@@ -380,6 +419,7 @@ func buildReport(cfg Config, shards []*workerStats, elapsed time.Duration) *Repo
 		DurationSeconds: elapsed.Seconds(),
 		Requests:        merged.requests,
 		ColdRequests:    merged.cold,
+		NotModified:     merged.notModified,
 		TransportErrors: merged.transport,
 		Latency: LatencyStats{
 			P50ms:  ms(merged.hist.Quantile(0.50)),
@@ -425,8 +465,11 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, ", target %.0f rps", r.TargetRPS)
 	}
 	fmt.Fprintf(&b, ")\n")
-	fmt.Fprintf(&b, "  requests  %d in %.1fs (%.1f rps), %d cold\n",
-		r.Requests, r.DurationSeconds, r.RPS, r.ColdRequests)
+	fmt.Fprintf(&b, "  requests  %d in %.1fs (%.1f rps), %d cold", r.Requests, r.DurationSeconds, r.RPS, r.ColdRequests)
+	if r.NotModified > 0 {
+		fmt.Fprintf(&b, ", %d not-modified", r.NotModified)
+	}
+	fmt.Fprintf(&b, "\n")
 	fmt.Fprintf(&b, "  errors    %d (%d transport", r.Errors, r.TransportErrors)
 	for _, code := range sortedKeys(r.StatusNon2xx) {
 		fmt.Fprintf(&b, ", %d HTTP %s", r.StatusNon2xx[code], code)
@@ -480,7 +523,7 @@ func Warmup(ctx context.Context, cfg Config) error {
 	for _, seed := range cfg.Seeds {
 		url := base + resolvePath(cfg.Mix.Ops[0].Path, seed, rng)
 		for {
-			code, err := doRequest(client, url)
+			code, _, err := doRequest(client, url, "")
 			switch {
 			case err == nil && code >= 200 && code <= 299:
 				// Warm.

@@ -331,3 +331,66 @@ func TestRunContextCancel(t *testing.T) {
 		t.Error("no requests before cancel")
 	}
 }
+
+// Conditional replays: with ConditionalEvery set against a server that
+// emits ETags and honors If-None-Match, some requests come back 304 —
+// counted as successes in NotModified, never as errors.
+func TestRunConditionalRequests(t *testing.T) {
+	var notModified atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		const tag = `"deadbeef"`
+		if r.Header.Get("If-None-Match") == tag {
+			notModified.Add(1)
+			w.Header().Set("ETag", tag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", tag)
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:          srv.URL,
+		Mix:              testMix(),
+		Concurrency:      2,
+		MaxRequests:      300,
+		Duration:         time.Minute,
+		ConditionalEvery: 3,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || len(rep.StatusNon2xx) != 0 {
+		t.Fatalf("errors = %d/%v, want none (304 is a success)", rep.Errors, rep.StatusNon2xx)
+	}
+	if rep.NotModified == 0 || rep.NotModified != notModified.Load() {
+		t.Errorf("notModified = %d (server sent %d), want equal and nonzero",
+			rep.NotModified, notModified.Load())
+	}
+	if rep.NotModified >= rep.Requests {
+		t.Errorf("notModified = %d of %d requests: unconditional requests vanished",
+			rep.NotModified, rep.Requests)
+	}
+	if !strings.Contains(rep.Summary(), "not-modified") {
+		t.Errorf("summary missing not-modified count:\n%s", rep.Summary())
+	}
+
+	// Without ConditionalEvery no request is conditional, even against the
+	// same validator-emitting server.
+	rep2, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Mix:         testMix(),
+		Concurrency: 2,
+		MaxRequests: 50,
+		Duration:    time.Minute,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.NotModified != 0 {
+		t.Errorf("notModified = %d with conditionals disabled", rep2.NotModified)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io/fs"
 	"sync"
+	"time"
 
 	"avfda/internal/core"
 	"avfda/internal/query"
@@ -23,6 +24,14 @@ type Study struct {
 	// through Database.
 	DB     *core.DB
 	Engine *query.Engine
+	// ETag is the study's content fingerprint — the CRC-32C of its v2
+	// snapshot payload, lower-case hex, no quotes — set when the study was
+	// mapped from a v2 snapshot or written through as one. Deterministic
+	// encoding makes it identical on every node serving the same seed, so
+	// the HTTP layer derives ETag headers from it. Empty when no v2
+	// snapshot exists for the study (v1 loads, snapshotless builds): those
+	// responses simply carry no validator.
+	ETag string
 }
 
 // Database returns the study's failure database, materializing it from
@@ -72,6 +81,17 @@ type CacheStats struct {
 	// refused (version mismatch, checksum failure, truncation) and
 	// triggered a rebuild instead.
 	SnapshotRejects int64
+	// SnapshotFetches counts misses satisfied by pulling the seed's v2
+	// snapshot from a peer (CRC re-verified on receipt) instead of paying
+	// a pipeline rebuild.
+	SnapshotFetches int64
+	// SnapshotFetchMisses counts peer probes that answered 404 — the peer
+	// simply doesn't hold the seed either; not an error.
+	SnapshotFetchMisses int64
+	// SnapshotFetchErrors counts peer probes that failed (transport error,
+	// non-200/404 status, or a fetched file that flunked CRC/structure
+	// validation on receipt).
+	SnapshotFetchErrors int64
 	// Resident is the number of studies currently cached.
 	Resident int
 }
@@ -95,8 +115,9 @@ type CacheStats struct {
 type Cache struct {
 	build   BuildFunc
 	cap     int
-	snapDir string // "" disables the snapshot tier
-	v2      bool   // serve and write v2 snapshots ahead of the v1 tier
+	snapDir string           // "" disables the snapshot tier
+	v2      bool             // serve and write v2 snapshots ahead of the v1 tier
+	fetcher *snapshotFetcher // nil disables the peer pull-through tier
 
 	mu      sync.Mutex
 	order   *list.List              // of *cacheEntry, most recently used first
@@ -150,6 +171,23 @@ func NewTieredCache(build BuildFunc, capacity int, dir string, v2 bool) (*Cache,
 		entries: make(map[int64]*list.Element),
 		flights: make(map[int64]*flight),
 	}, nil
+}
+
+// SetSnapshotPeers enables the peer pull-through tier: a miss that finds
+// no local snapshot asks each peer base URL in order for the seed's v2
+// snapshot before falling back to a pipeline build. It requires the v2
+// snapshot tier (fetched files are landed in snapDir and then mapped).
+// timeout bounds each peer probe; zero picks a sane default. Call before
+// serving traffic; the peer list is fixed afterwards.
+func (c *Cache) SetSnapshotPeers(peers []string, timeout time.Duration) error {
+	if len(peers) == 0 {
+		return nil
+	}
+	if c.snapDir == "" || !c.v2 {
+		return errors.New("serve: snapshot peers require the v2 snapshot tier")
+	}
+	c.fetcher = newSnapshotFetcher(peers, timeout)
+	return nil
 }
 
 // Get returns the study for seed, building it on first use. It blocks
@@ -233,6 +271,9 @@ func (c *Cache) acquire(seed int64) (*Study, error) {
 			// or an engine rebuild failure): never trust it, rebuild.
 			c.bump(&c.stats.SnapshotRejects)
 		}
+		if study, ok := c.fetchFromPeer(seed); ok {
+			return study, nil
+		}
 	}
 	c.bump(&c.stats.Builds)
 	study, err := c.build(seed)
@@ -246,8 +287,11 @@ func (c *Cache) acquire(seed int64) (*Study, error) {
 		// the v2 tier on, the v2 format is the write-through target — v1
 		// files are read for compatibility but no longer produced here.
 		if c.v2 {
-			if err := snapshot2.WriteSeed(c.snapDir, seed, study.DB); err == nil {
+			if crc, err := snapshot2.WriteSeed(c.snapDir, seed, study.DB); err == nil {
 				c.bump(&c.stats.Snapshot2Writes)
+				// The write-through fixes the study's content fingerprint,
+				// so the freshly built study can carry a validator too.
+				study.ETag = etagFromCRC(crc)
 			}
 		} else {
 			if err := snapshot.WriteSeed(c.snapDir, seed, study.DB); err == nil {
@@ -256,6 +300,35 @@ func (c *Cache) acquire(seed int64) (*Study, error) {
 		}
 	}
 	return study, nil
+}
+
+// fetchFromPeer is the pull-through tier: with peers configured, ask each
+// in turn for the seed's v2 snapshot, land the verified bytes in snapDir,
+// and serve them through the normal mapped path. A false return means the
+// caller should fall through to the pipeline build — peers that miss or
+// misbehave never block a rebuild, they only count against their stats.
+func (c *Cache) fetchFromPeer(seed int64) (*Study, bool) {
+	if c.fetcher == nil {
+		return nil, false
+	}
+	switch err := c.fetcher.fetch(c.snapDir, seed); {
+	case err == nil:
+	case errors.Is(err, errPeerMiss):
+		c.bump(&c.stats.SnapshotFetchMisses)
+		return nil, false
+	default:
+		c.bump(&c.stats.SnapshotFetchErrors)
+		return nil, false
+	}
+	study, err := c.loadSnapshot2(seed)
+	if err != nil {
+		// The bytes validated before landing, so this is a local problem
+		// (disk full mid-install, concurrent tampering); rebuild.
+		c.bump(&c.stats.SnapshotFetchErrors)
+		return nil, false
+	}
+	c.bump(&c.stats.SnapshotFetches)
+	return study, true
 }
 
 // loadSnapshot reads the persisted v1 database for seed and rebuilds its
@@ -275,9 +348,14 @@ func (c *Cache) loadSnapshot(seed int64) (*Study, error) {
 // loadSnapshot2 maps the v2 snapshot for seed and serves queries straight
 // off the mapping: no deserialization, no DB materialization until an
 // endpoint actually needs whole tables. The view is validated end-to-end
-// at open, so a success here is as trustworthy as a fresh build; its
-// mapping is released by the runtime once the study is evicted and no
-// request still references the engine.
+// at open, so a success here is as trustworthy as a fresh build.
+//
+// Release path: OpenSeed retains no file descriptor (the fd is closed as
+// soon as the mapping exists), so an evicted study pins only its mapping.
+// The mapping is torn down by the view's finalizer once the last request
+// referencing the engine drops it — eviction under churn is bounded by
+// cache capacity plus in-flight requests, never by how many seeds have
+// ever been served. TestEvictionChurnMappedViews pins this.
 func (c *Cache) loadSnapshot2(seed int64) (*Study, error) {
 	v, err := snapshot2.OpenSeed(c.snapDir, seed)
 	if err != nil {
@@ -288,7 +366,7 @@ func (c *Cache) loadSnapshot2(seed int64) (*Study, error) {
 		v.Close()
 		return nil, err
 	}
-	return &Study{Engine: engine}, nil
+	return &Study{Engine: engine, ETag: etagFromCRC(v.Checksum())}, nil
 }
 
 // bump increments one stats counter under the cache lock.

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// HTTP caching for study responses.
+//
+// A study's v2 snapshot encoding is deterministic, so its CRC-32C payload
+// checksum is a content address: every node that serves seed N computes
+// the same checksum, whether it mapped a local snapshot, pulled one from
+// a peer, or rebuilt from scratch and wrote through. That checksum is the
+// entity tag — identical across the whole fleet, which is what makes
+// validators work behind the consistent-hash proxy (a client's
+// If-None-Match revalidates correctly no matter which backend answers).
+//
+// The tag is per representation: the gzip-encoded body is a different
+// byte stream than the identity one, so the encoded representation's tag
+// carries a "-gzip" suffix (mirroring how nginx degrades tags for
+// on-the-fly compression, minus the weakening). Whether a response will
+// be gzipped is decided up front from Accept-Encoding — every study
+// endpoint emits compressible JSON or text — so the suffix is known
+// before the 304 check runs.
+
+// etagFromCRC renders a snapshot checksum as the study's entity-tag
+// payload: fixed-width lower-case hex, no quotes.
+func etagFromCRC(crc uint32) string { return fmt.Sprintf("%08x", crc) }
+
+// cacheControl is sent with every response that carries a validator.
+// Studies for a seed are deterministic but not formally immutable (a
+// pipeline upgrade rebuilds them), so clients may reuse for five minutes
+// and then revalidate — a 304 costs no query work.
+const cacheControl = "public, max-age=300"
+
+// conditional stamps the study's validator headers onto the response and
+// answers true when the request's If-None-Match matches the current
+// representation — in which case it has already written the 304 and the
+// handler must not run the query. Studies without a snapshot-backed
+// checksum carry no validator and are always served in full.
+func conditional(w http.ResponseWriter, r *http.Request, study *Study) bool {
+	if study.ETag == "" {
+		return false
+	}
+	tag := `"` + study.ETag
+	if acceptsGzip(r) {
+		tag += "-gzip"
+	}
+	tag += `"`
+	h := w.Header()
+	h.Set("ETag", tag)
+	h.Set("Cache-Control", cacheControl)
+	if !etagMatches(r.Header.Get("If-None-Match"), tag) {
+		return false
+	}
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-separated
+// list of entity tags, "*" matching anything, with the weak comparison
+// RFC 9110 §13.1.2 prescribes for this header (a W/ prefix is ignored).
+func etagMatches(header, tag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == "*" || candidate == tag {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"compress/gzip"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// gzipWriters pools compressors so the per-response cost is a Reset, not
+// an allocation of gzip's window buffers.
+var gzipWriters = sync.Pool{
+	New: func() any { return gzip.NewWriter(nil) },
+}
+
+// acceptsGzip reports whether the client negotiated gzip. The check is
+// deliberately simple (token presence, no q-value parsing): every real
+// client that sends "gzip" means it, and a q=0 opt-out is vanishingly
+// rare — but "identity" and absent headers are honored.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.EqualFold(enc, "gzip") {
+			return true
+		}
+	}
+	return false
+}
+
+// compressible reports whether a content type is worth gzipping: the JSON
+// and text bodies every study endpoint emits. Binary snapshot streams
+// (application/octet-stream) pass through untouched — the v2 format's
+// varint postings and deduplicated strings don't compress enough to repay
+// burning CPU in the distribution path.
+func compressible(contentType string) bool {
+	return strings.HasPrefix(contentType, "application/json") ||
+		strings.HasPrefix(contentType, "text/")
+}
+
+// gzipResponseWriter compresses 200-status compressible responses on the
+// fly. The decision is deferred to WriteHeader time, when the status and
+// Content-Type are known; error responses, 304s, and binary bodies pass
+// through identity-encoded.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz          *gzip.Writer
+	wroteHeader bool
+}
+
+// newGzipResponseWriter wraps w for a client that accepts gzip. close
+// must be called after the handler returns to flush the compressor and
+// return it to the pool.
+func newGzipResponseWriter(w http.ResponseWriter) *gzipResponseWriter {
+	return &gzipResponseWriter{ResponseWriter: w}
+}
+
+// WriteHeader decides the encoding and forwards the status.
+func (g *gzipResponseWriter) WriteHeader(code int) {
+	if g.wroteHeader {
+		g.ResponseWriter.WriteHeader(code)
+		return
+	}
+	g.wroteHeader = true
+	h := g.Header()
+	if code == http.StatusOK && compressible(h.Get("Content-Type")) && h.Get("Content-Encoding") == "" {
+		h.Set("Content-Encoding", "gzip")
+		// The compressed length is unknowable up front; drop any length
+		// the handler computed for the identity body.
+		h.Del("Content-Length")
+		g.gz = gzipWriters.Get().(*gzip.Writer)
+		g.gz.Reset(g.ResponseWriter)
+	}
+	g.ResponseWriter.WriteHeader(code)
+}
+
+// Write compresses the body when WriteHeader elected gzip.
+func (g *gzipResponseWriter) Write(p []byte) (int, error) {
+	if !g.wroteHeader {
+		g.WriteHeader(http.StatusOK)
+	}
+	if g.gz != nil {
+		return g.gz.Write(p)
+	}
+	return g.ResponseWriter.Write(p)
+}
+
+// Flush pushes buffered compressed bytes downstream so streaming handlers
+// still stream when their output is gzipped.
+func (g *gzipResponseWriter) Flush() {
+	if g.gz != nil {
+		_ = g.gz.Flush()
+	}
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// close finalizes the gzip stream (writing the trailer) and recycles the
+// compressor. It must run after the handler, exactly once.
+func (g *gzipResponseWriter) close() {
+	if g.gz == nil {
+		return
+	}
+	_ = g.gz.Close()
+	g.gz.Reset(nil)
+	gzipWriters.Put(g.gz)
+	g.gz = nil
+}

@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"compress/gzip"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"avfda/internal/snapshot2"
+)
+
+// getFull performs one request with extra headers and returns the full
+// recorded response.
+func getFull(t *testing.T, h http.Handler, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// newSnapshotServer wires a Server over a snapshot directory that already
+// holds the fixture study for seed 1, counting pipeline builds.
+func newSnapshotServer(t *testing.T, calls *atomic.Int64) *Server {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := snapshot2.WriteSeed(dir, 1, testDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Build: testBuilder(t, calls, 0), CacheSize: 2, SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestETagRoundTrip: a snapshot-backed study response carries a validator
+// derived from the snapshot checksum, and replaying it conditionally
+// short-circuits to 304 with an empty body.
+func TestETagRoundTrip(t *testing.T) {
+	s := newSnapshotServer(t, nil)
+	first := getFull(t, s, "/v1/studies/1/disengagements", nil)
+	if first.Code != http.StatusOK {
+		t.Fatalf("code = %d (%s)", first.Code, first.Body.String())
+	}
+	tag := first.Header().Get("ETag")
+	if len(tag) != 10 || tag[0] != '"' || tag[9] != '"' {
+		t.Fatalf("ETag = %q, want a quoted 8-hex-digit tag", tag)
+	}
+	if cc := first.Header().Get("Cache-Control"); cc != cacheControl {
+		t.Errorf("Cache-Control = %q, want %q", cc, cacheControl)
+	}
+	if vary := first.Header().Get("Vary"); vary != "Accept-Encoding" {
+		t.Errorf("Vary = %q", vary)
+	}
+
+	second := getFull(t, s, "/v1/studies/1/disengagements", map[string]string{"If-None-Match": tag})
+	if second.Code != http.StatusNotModified {
+		t.Fatalf("conditional replay code = %d, want 304", second.Code)
+	}
+	if second.Body.Len() != 0 {
+		t.Errorf("304 carried a body: %q", second.Body.String())
+	}
+	if got := second.Header().Get("ETag"); got != tag {
+		t.Errorf("304 ETag = %q, want %q", got, tag)
+	}
+
+	// A stale validator is served in full.
+	third := getFull(t, s, "/v1/studies/1/disengagements", map[string]string{"If-None-Match": `"00000000"`})
+	if third.Code != http.StatusOK || third.Body.Len() == 0 {
+		t.Errorf("stale validator: code = %d, body %d bytes", third.Code, third.Body.Len())
+	}
+}
+
+// TestETagContentAddressed: the validator is the snapshot checksum, so a
+// freshly built study (write-through) and a cold server mapping the same
+// snapshot report the identical tag — the fleet-wide property the proxy
+// relies on.
+func TestETagContentAddressed(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{Build: testBuilder(t, nil, 0), CacheSize: 2, SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := getFull(t, s1, "/v1/studies/1/disengagements", nil)
+	if built.Code != http.StatusOK {
+		t.Fatalf("built code = %d", built.Code)
+	}
+	builtTag := built.Header().Get("ETag")
+	if builtTag == "" {
+		t.Fatal("freshly built study with write-through carried no ETag")
+	}
+
+	s2, err := New(Config{Build: testBuilder(t, nil, 0), CacheSize: 2, SnapshotDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := getFull(t, s2, "/v1/studies/1/disengagements", nil)
+	if mapped.Code != http.StatusOK {
+		t.Fatalf("mapped code = %d", mapped.Code)
+	}
+	if mappedTag := mapped.Header().Get("ETag"); mappedTag != builtTag {
+		t.Errorf("mapped ETag = %q, built ETag = %q: want identical (content-addressed)", mappedTag, builtTag)
+	}
+}
+
+// TestETagAbsentWithoutSnapshot: studies with no snapshot backing carry no
+// validator and never 304.
+func TestETagAbsentWithoutSnapshot(t *testing.T) {
+	s := newTestServer(t, nil, 0, 0)
+	rec := getFull(t, s, "/v1/studies/1/disengagements", map[string]string{"If-None-Match": `*`})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d, want 200 (no validator to match)", rec.Code)
+	}
+	if tag := rec.Header().Get("ETag"); tag != "" {
+		t.Errorf("snapshotless study carried ETag %q", tag)
+	}
+}
+
+// TestErrorResponsesCarryNoValidator: a request that resolves the study
+// but then fails validation must not emit the study's ETag on the error.
+func TestErrorResponsesCarryNoValidator(t *testing.T) {
+	s := newSnapshotServer(t, nil)
+	rec := getFull(t, s, "/v1/studies/1/disengagements?from=bogus", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("code = %d, want 400", rec.Code)
+	}
+	if tag := rec.Header().Get("ETag"); tag != "" {
+		t.Errorf("error response carried ETag %q", tag)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "" {
+		t.Errorf("error response carried Cache-Control %q", cc)
+	}
+}
+
+func TestETagMatches(t *testing.T) {
+	for _, tc := range []struct {
+		header, tag string
+		want        bool
+	}{
+		{"", `"abc"`, false},
+		{`"abc"`, `"abc"`, true},
+		{`"abc-gzip"`, `"abc"`, false},
+		{`"xyz", "abc"`, `"abc"`, true},
+		{`W/"abc"`, `"abc"`, true},
+		{`*`, `"abc"`, true},
+		{`"ABC"`, `"abc"`, false},
+	} {
+		if got := etagMatches(tc.header, tc.tag); got != tc.want {
+			t.Errorf("etagMatches(%q, %q) = %v, want %v", tc.header, tc.tag, got, tc.want)
+		}
+	}
+}
+
+// TestGzipNegotiation: a client that accepts gzip gets a compressed body
+// that decodes byte-identically to the identity representation, under a
+// "-gzip"-suffixed variant of the same validator; clients that don't stay
+// untouched.
+func TestGzipNegotiation(t *testing.T) {
+	s := newSnapshotServer(t, nil)
+	identity := getFull(t, s, "/v1/studies/1/disengagements", nil)
+	if identity.Code != http.StatusOK || identity.Header().Get("Content-Encoding") != "" {
+		t.Fatalf("identity response: code %d, encoding %q", identity.Code, identity.Header().Get("Content-Encoding"))
+	}
+
+	zipped := getFull(t, s, "/v1/studies/1/disengagements", map[string]string{"Accept-Encoding": "gzip"})
+	if zipped.Code != http.StatusOK {
+		t.Fatalf("gzip code = %d", zipped.Code)
+	}
+	if enc := zipped.Header().Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+	zr, err := gzip.NewReader(zipped.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(decoded) != identity.Body.String() {
+		t.Error("gzip body does not decode to the identity body")
+	}
+
+	identityTag, zippedTag := identity.Header().Get("ETag"), zipped.Header().Get("ETag")
+	want := identityTag[:len(identityTag)-1] + `-gzip"`
+	if zippedTag != want {
+		t.Errorf("gzip ETag = %q, want %q", zippedTag, want)
+	}
+
+	// The gzip representation revalidates against its own tag.
+	replay := getFull(t, s, "/v1/studies/1/disengagements",
+		map[string]string{"Accept-Encoding": "gzip", "If-None-Match": zippedTag})
+	if replay.Code != http.StatusNotModified {
+		t.Errorf("gzip conditional replay code = %d, want 304", replay.Code)
+	}
+	if enc := replay.Header().Get("Content-Encoding"); enc != "" {
+		t.Errorf("304 carried Content-Encoding %q", enc)
+	}
+}
+
+// TestGzipSkipsErrorsAndBinary: non-200 responses and octet-stream bodies
+// pass through identity-encoded even when the client accepts gzip.
+func TestGzipSkipsErrorsAndBinary(t *testing.T) {
+	s := newSnapshotServer(t, nil)
+	bad := getFull(t, s, "/v1/studies/1/disengagements?limit=nope", map[string]string{"Accept-Encoding": "gzip"})
+	if bad.Code != http.StatusBadRequest {
+		t.Fatalf("code = %d", bad.Code)
+	}
+	if enc := bad.Header().Get("Content-Encoding"); enc != "" {
+		t.Errorf("400 carried Content-Encoding %q", enc)
+	}
+
+	snap := getFull(t, s, "/v1/snapshots/1", map[string]string{"Accept-Encoding": "gzip"})
+	if snap.Code != http.StatusOK {
+		t.Fatalf("snapshot code = %d (%s)", snap.Code, snap.Body.String())
+	}
+	if enc := snap.Header().Get("Content-Encoding"); enc != "" {
+		t.Errorf("snapshot stream carried Content-Encoding %q", enc)
+	}
+	if _, err := snapshot2.NewView(snap.Body.Bytes()); err != nil {
+		t.Errorf("streamed snapshot bytes invalid: %v", err)
+	}
+}
+
+// TestBadParamsSkipStudyBuild is the validation-ordering regression test:
+// a malformed limit (or missing group-by column) on a cold cache must
+// cost a 400, not a pipeline build.
+func TestBadParamsSkipStudyBuild(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, 0, 0)
+	for _, path := range []string{
+		"/v1/studies/1/disengagements?limit=nope",
+		"/v1/studies/1/disengagements?limit=0",
+		"/v1/studies/1/disengagements?offset=-1",
+		"/v1/studies/1/accidents?limit=bogus",
+		"/v1/studies/1/groupby",
+	} {
+		if code, body := get(t, s, path); code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d (%s), want 400", path, code, strings.TrimSpace(body))
+		}
+	}
+	if calls.Load() != 0 {
+		t.Errorf("pipeline builds = %d, want 0 (params must validate before the study resolves)", calls.Load())
+	}
+	if stats := s.CacheStats(); stats.Builds != 0 || stats.Misses != 0 {
+		t.Errorf("stats = %+v, want an untouched cold cache", stats)
+	}
+}
+
+// TestClientDisconnectReturns499: a canceled request is not a timeout —
+// it gets 499 (not 504), its own metrics label, and the build still lands
+// for the next caller.
+func TestClientDisconnectReturns499(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, 150*time.Millisecond, 5*time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/studies/1/disengagements", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeHTTP(rec, req)
+	}()
+	// Let the request reach the build, then hang up.
+	deadline := time.Now().Add(2 * time.Second)
+	for calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never started building")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("code = %d (%s), want 499", rec.Code, strings.TrimSpace(rec.Body.String()))
+	}
+	if strings.Contains(rec.Body.String(), "retry") {
+		t.Errorf("499 body advertises a retry to a client that hung up: %s", rec.Body.String())
+	}
+
+	// The abandoned build still completes and serves the next request.
+	waitUntil := time.Now().Add(2 * time.Second)
+	for s.CacheStats().Resident == 0 {
+		if time.Now().After(waitUntil) {
+			t.Fatal("background build never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := get(t, s, "/v1/studies/1/disengagements"); code != http.StatusOK {
+		t.Errorf("post-disconnect request code = %d", code)
+	}
+
+	_, metrics := get(t, s, "/metrics")
+	for _, want := range []string{
+		`avserve_requests_total{route="/v1/studies/{seed}/disengagements",code="499"} 1`,
+		`avserve_requests_total{route="/v1/studies/{seed}/disengagements",code="200"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// flushTracker records Flush calls and how many body bytes had arrived by
+// the first one.
+type flushTracker struct {
+	*httptest.ResponseRecorder
+	flushes      int
+	bytesAtFirst int
+}
+
+func (f *flushTracker) Flush() {
+	if f.flushes == 0 {
+		f.bytesAtFirst = f.Body.Len()
+	}
+	f.flushes++
+}
+
+// TestStatusRecorderForwardsFlush: a handler's Flush must reach the
+// client through the metrics wrapper (it used to be swallowed, buffering
+// whole streamed responses) — with and without gzip in between.
+func TestStatusRecorderForwardsFlush(t *testing.T) {
+	for _, accept := range []string{"", "gzip"} {
+		s := &Server{metrics: NewMetrics(), timeout: time.Second, mux: http.NewServeMux()}
+		flusherSeen := false
+		s.route("GET /stream", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = io.WriteString(w, `{"part":1}`)
+			if f, ok := w.(http.Flusher); ok {
+				flusherSeen = true
+				f.Flush()
+			}
+			_, _ = io.WriteString(w, `{"part":2}`)
+		})
+		ft := &flushTracker{ResponseRecorder: httptest.NewRecorder()}
+		req := httptest.NewRequest(http.MethodGet, "/stream", nil)
+		if accept != "" {
+			req.Header.Set("Accept-Encoding", accept)
+		}
+		s.ServeHTTP(ft, req)
+		if !flusherSeen {
+			t.Fatalf("accept=%q: handler's writer does not expose http.Flusher", accept)
+		}
+		if ft.flushes == 0 {
+			t.Errorf("accept=%q: handler Flush never reached the client", accept)
+		}
+		if ft.bytesAtFirst == 0 {
+			t.Errorf("accept=%q: nothing had been written downstream at first Flush", accept)
+		}
+	}
+}
+
+// TestStatusRecorderForwardsReadFrom: the wrapper advertises io.ReaderFrom
+// (the sendfile path ServeContent uses for snapshot streaming) and the
+// fallback copy cannot recurse.
+func TestStatusRecorderForwardsReadFrom(t *testing.T) {
+	rec := &statusRecorder{ResponseWriter: httptest.NewRecorder(), code: http.StatusOK}
+	var w http.ResponseWriter = rec
+	rf, ok := w.(io.ReaderFrom)
+	if !ok {
+		t.Fatal("statusRecorder does not implement io.ReaderFrom")
+	}
+	n, err := rf.ReadFrom(strings.NewReader("snapshot bytes"))
+	if err != nil || n != int64(len("snapshot bytes")) {
+		t.Fatalf("ReadFrom = (%d, %v)", n, err)
+	}
+	if body := rec.ResponseWriter.(*httptest.ResponseRecorder).Body.String(); body != "snapshot bytes" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+// TestSnapshotEndpoint pins the distribution endpoint's contract: 200
+// with the exact file bytes when held, 404 when absent or disabled, 400
+// on a malformed seed.
+func TestSnapshotEndpoint(t *testing.T) {
+	s := newSnapshotServer(t, nil)
+	rec := getFull(t, s, "/v1/snapshots/1", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d (%s)", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	v, err := snapshot2.NewView(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("streamed snapshot invalid: %v", err)
+	}
+	if v.NumRows() != 3 {
+		t.Errorf("streamed snapshot rows = %d, want 3", v.NumRows())
+	}
+
+	if rec := getFull(t, s, "/v1/snapshots/99", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("absent seed code = %d, want 404", rec.Code)
+	}
+	if rec := getFull(t, s, "/v1/snapshots/abc", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad seed code = %d, want 400", rec.Code)
+	}
+
+	noDir := newTestServer(t, nil, 0, 0)
+	if rec := getFull(t, noDir, "/v1/snapshots/1", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("no snapshot dir code = %d, want 404", rec.Code)
+	}
+}

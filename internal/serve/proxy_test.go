@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// echoBackend answers every request with its own name plus what it saw,
+// so routing tests can tell backends apart.
+func echoBackend(name string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"backend":   name,
+			"uri":       r.URL.RequestURI(),
+			"forwarded": r.Header.Get("X-Forwarded-For"),
+			"accept":    r.Header.Get("Accept-Encoding"),
+		})
+	})
+}
+
+// newEchoProxy stands up n echo backends and a proxy over them.
+func newEchoProxy(t *testing.T, n, replicas int) (*Proxy, []string) {
+	t.Helper()
+	backends := make([]string, n)
+	for i := range backends {
+		srv := httptest.NewServer(echoBackend(fmt.Sprintf("b%d", i)))
+		t.Cleanup(srv.Close)
+		backends[i] = srv.URL
+	}
+	p, err := NewProxy(ProxyConfig{Backends: backends, Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, backends
+}
+
+// TestRingProperties pins the consistent-hash ring: owners are
+// deterministic, distinct, and the seed space spreads over every backend
+// without gross imbalance.
+func TestRingProperties(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	r := newHashRing(backends)
+	counts := map[string]int{}
+	const seeds = 3000
+	for seed := int64(0); seed < seeds; seed++ {
+		owners := r.owners(seedKey(seed), 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("seed %d owners = %v, want 2 distinct", seed, owners)
+		}
+		again := r.owners(seedKey(seed), 2)
+		if owners[0] != again[0] || owners[1] != again[1] {
+			t.Fatalf("seed %d owners not deterministic: %v vs %v", seed, owners, again)
+		}
+		counts[owners[0]]++
+	}
+	for _, b := range backends {
+		if frac := float64(counts[b]) / seeds; frac < 0.15 || frac > 0.55 {
+			t.Errorf("backend %s owns %.1f%% of seeds; want a vaguely balanced ring (%v)",
+				b, 100*frac, counts)
+		}
+	}
+	// k exceeding the backend count is clamped, not an error.
+	if owners := r.owners(seedKey(7), 99); len(owners) != len(backends) {
+		t.Errorf("k=99 owners = %v", owners)
+	}
+}
+
+// TestRingStabilityAcrossResize: removing one backend remaps only the
+// seeds it owned — everyone else's shard stays put, which is what keeps
+// surviving caches warm through a topology change.
+func TestRingStabilityAcrossResize(t *testing.T) {
+	full := newHashRing([]string{"http://a", "http://b", "http://c"})
+	reduced := newHashRing([]string{"http://a", "http://b"})
+	moved := 0
+	const seeds = 2000
+	for seed := int64(0); seed < seeds; seed++ {
+		before := full.owners(seedKey(seed), 1)[0]
+		after := reduced.owners(seedKey(seed), 1)[0]
+		if before != "http://c" && before != after {
+			moved++
+		}
+	}
+	if frac := float64(moved) / seeds; frac > 0.05 {
+		t.Errorf("%.1f%% of surviving seeds remapped on resize; consistent hashing should keep them", 100*frac)
+	}
+}
+
+// TestProxyRoutesBySeed: the same seed always lands on the same backend,
+// different seeds spread across both, and the per-backend counters see it.
+func TestProxyRoutesBySeed(t *testing.T) {
+	p, _ := newEchoProxy(t, 2, 1)
+	owner := map[int]string{}
+	for seed := 0; seed < 16; seed++ {
+		for try := 0; try < 3; try++ {
+			rec := getFull(t, p, fmt.Sprintf("/v1/studies/%d/disengagements?limit=5", seed), nil)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("seed %d code = %d (%s)", seed, rec.Code, rec.Body.String())
+			}
+			var got map[string]string
+			if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+				t.Fatal(err)
+			}
+			if prev, ok := owner[seed]; ok && prev != got["backend"] {
+				t.Fatalf("seed %d flapped between %s and %s", seed, prev, got["backend"])
+			}
+			owner[seed] = got["backend"]
+			if want := fmt.Sprintf("/v1/studies/%d/disengagements?limit=5", seed); got["uri"] != want {
+				t.Errorf("forwarded uri = %q, want %q", got["uri"], want)
+			}
+			if got["forwarded"] == "" {
+				t.Error("X-Forwarded-For not set")
+			}
+		}
+	}
+	sharded := map[string]bool{}
+	for _, b := range owner {
+		sharded[b] = true
+	}
+	if len(sharded) != 2 {
+		t.Errorf("16 seeds all landed on %v; want both backends used", sharded)
+	}
+
+	metrics := getFull(t, p, "/metrics", nil).Body.String()
+	if strings.Count(metrics, "avserve_proxy_backend_requests_total{backend=") != 2 {
+		t.Errorf("per-backend request counters missing:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "avserve_proxy_retries_total 0") {
+		t.Errorf("retries counter missing:\n%s", metrics)
+	}
+}
+
+// TestProxyHeaderPassthrough: content negotiation crosses the proxy
+// untouched in both directions — the backend sees Accept-Encoding, the
+// client sees the backend's headers.
+func TestProxyHeaderPassthrough(t *testing.T) {
+	p, _ := newEchoProxy(t, 1, 1)
+	rec := getFull(t, p, "/v1/studies/1/groupby?by=tag", map[string]string{"Accept-Encoding": "gzip"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	var got map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["accept"] != "gzip" {
+		t.Errorf("backend saw Accept-Encoding %q, want gzip", got["accept"])
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("relayed Content-Type = %q", ct)
+	}
+}
+
+// TestProxyRetryOnConnectionFailure: with a dead replica in the set, the
+// proxy fails over to the live one — every request still succeeds and the
+// failover is visible in the metrics.
+func TestProxyRetryOnConnectionFailure(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	live := httptest.NewServer(echoBackend("live"))
+	defer live.Close()
+
+	p, err := NewProxy(ProxyConfig{Backends: []string{dead.URL, live.URL}, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		rec := getFull(t, p, fmt.Sprintf("/v1/studies/%d/disengagements", i), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d code = %d (%s)", i, rec.Code, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), `"backend":"live"`) {
+			t.Fatalf("request %d served by %s", i, rec.Body.String())
+		}
+	}
+	metrics := getFull(t, p, "/metrics", nil).Body.String()
+	if !strings.Contains(metrics, fmt.Sprintf("avserve_proxy_backend_errors_total{backend=%q}", dead.URL)) {
+		t.Errorf("dead backend's error counter missing:\n%s", metrics)
+	}
+	if strings.Contains(metrics, "avserve_proxy_retries_total 0") {
+		t.Errorf("failovers happened but retries counter is zero:\n%s", metrics)
+	}
+}
+
+// TestProxyAllReplicasDown: when every owner is unreachable the client
+// gets a 502, not a hang or a panic.
+func TestProxyAllReplicasDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	p, err := NewProxy(ProxyConfig{Backends: []string{dead.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := getFull(t, p, "/v1/studies/1/disengagements", nil)
+	if rec.Code != http.StatusBadGateway {
+		t.Errorf("code = %d, want 502", rec.Code)
+	}
+}
+
+// TestProxyLocalEndpoints: health, metrics, and input validation are
+// answered by the proxy itself, never forwarded.
+func TestProxyLocalEndpoints(t *testing.T) {
+	p, _ := newEchoProxy(t, 1, 1)
+	if rec := getFull(t, p, "/healthz", nil); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), `"role":"proxy"`) {
+		t.Errorf("healthz = %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := getFull(t, p, "/v1/studies/abc/disengagements", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad seed code = %d, want 400", rec.Code)
+	}
+	if rec := getFull(t, p, "/v1/nope", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path code = %d, want 404", rec.Code)
+	}
+}
+
+// TestProxyConfigValidation: an empty backend list is rejected; blanks
+// and trailing slashes are cleaned.
+func TestProxyConfigValidation(t *testing.T) {
+	if _, err := NewProxy(ProxyConfig{}); err == nil {
+		t.Error("no backends: want error")
+	}
+	if _, err := NewProxy(ProxyConfig{Backends: []string{" ", ""}}); err == nil {
+		t.Error("blank backends: want error")
+	}
+	p, err := NewProxy(ProxyConfig{Backends: []string{"http://a/", " http://b "}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Backends(); got[0] != "http://a" || got[1] != "http://b" {
+		t.Errorf("cleaned backends = %v", got)
+	}
+}
+
+// TestProxyEndToEndStudies drives the proxy over two real avserve
+// backends sharing nothing, and checks the answers are byte-identical to
+// asking a backend directly — the proxy adds routing, not content.
+func TestProxyEndToEndStudies(t *testing.T) {
+	s1 := newSnapshotServer(t, nil)
+	s2 := newSnapshotServer(t, nil)
+	b1, b2 := httptest.NewServer(s1), httptest.NewServer(s2)
+	defer b1.Close()
+	defer b2.Close()
+	p, err := NewProxy(ProxyConfig{Backends: []string{b1.URL, b2.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(p)
+	defer proxySrv.Close()
+
+	direct := getFull(t, s1, "/v1/studies/1/groupby?by=tag", nil)
+	// Pin the identity encoding: Go's default client would otherwise
+	// negotiate gzip transparently, which is the -gzip representation
+	// with its own tag.
+	req0, _ := http.NewRequest(http.MethodGet, proxySrv.URL+"/v1/studies/1/groupby?by=tag", nil)
+	req0.Header.Set("Accept-Encoding", "identity")
+	resp, err := http.DefaultClient.Do(req0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	viaProxy, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied code = %d (%s)", resp.StatusCode, viaProxy)
+	}
+	if string(viaProxy) != direct.Body.String() {
+		t.Errorf("proxied body differs from direct:\n%s\nvs\n%s", viaProxy, direct.Body.String())
+	}
+	if got, want := resp.Header.Get("ETag"), direct.Header().Get("ETag"); got != want || got == "" {
+		t.Errorf("proxied ETag = %q, direct = %q", got, want)
+	}
+
+	// Conditional revalidation works through the proxy.
+	req, _ := http.NewRequest(http.MethodGet, proxySrv.URL+"/v1/studies/1/groupby?by=tag", nil)
+	req.Header.Set("Accept-Encoding", "identity")
+	req.Header.Set("If-None-Match", resp.Header.Get("ETag"))
+	cond, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cond.Body.Close()
+	if cond.StatusCode != http.StatusNotModified {
+		t.Errorf("conditional through proxy = %d, want 304", cond.StatusCode)
+	}
+}

@@ -26,9 +26,16 @@
 //	GET /v1/studies/{seed}/groupby?by=tag            group-by counts
 //	GET /v1/studies/{seed}/metrics/reliability       per-manufacturer DPM/DPA/APM
 //	GET /v1/studies/{seed}/tables/{id}               rendered paper table (i..viii)
+//	GET /v1/snapshots/{seed}                         raw v2 snapshot stream (peer distribution)
 //
 // Filter query parameters mirror the avquery flags: mfr, tag, category,
 // road, weather, modality, from, to; listings also take offset and limit.
+//
+// Study responses carry HTTP validators when the study is snapshot-backed:
+// an ETag derived from the v2 snapshot's CRC-32C (identical on every node
+// serving the seed, see etag.go) and a Cache-Control window, so repeated
+// conditional requests short-circuit to 304 before any query work. Bodies
+// are gzipped when the client negotiates it.
 package serve
 
 import (
@@ -36,7 +43,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -44,6 +54,7 @@ import (
 	"avfda/internal/core"
 	"avfda/internal/query"
 	"avfda/internal/report"
+	"avfda/internal/snapshot2"
 )
 
 // Config parameterizes a Server.
@@ -63,6 +74,13 @@ type Config struct {
 	// RequestTimeout bounds each request, including any study build it
 	// triggers; <= 0 means 60s.
 	RequestTimeout time.Duration
+	// SnapshotPeers lists base URLs (http://host:port) of peer avserve
+	// backends. A cache miss that finds no local snapshot pulls the
+	// seed's v2 snapshot from a peer (CRC re-verified on receipt) before
+	// paying a pipeline rebuild. Requires the v2 snapshot tier.
+	SnapshotPeers []string
+	// SnapshotFetchTimeout bounds each peer snapshot probe; <= 0 means 10s.
+	SnapshotFetchTimeout time.Duration
 }
 
 // Server is the HTTP API over cached studies. Create with New; it
@@ -71,8 +89,17 @@ type Server struct {
 	cache   *Cache
 	metrics *Metrics
 	timeout time.Duration
+	snapDir string // v2 snapshot directory served to peers; "" disables
+	snapV2  bool
 	mux     *http.ServeMux
 }
+
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the client disconnected before the response was ready. It is
+// deliberately not a 5xx — nothing server-side failed — and it gets its
+// own metrics label so disconnect storms are distinguishable from real
+// timeout pressure.
+const statusClientClosedRequest = 499
 
 // DefaultListLimit caps listing responses when no limit parameter is
 // given; MaxListLimit is the largest accepted limit.
@@ -93,10 +120,15 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := cache.SetSnapshotPeers(cfg.SnapshotPeers, cfg.SnapshotFetchTimeout); err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cache:   cache,
 		metrics: NewMetrics(),
 		timeout: cfg.RequestTimeout,
+		snapDir: cfg.SnapshotDir,
+		snapV2:  !cfg.DisableSnapshotV2,
 		mux:     http.NewServeMux(),
 	}
 	s.route("GET /healthz", s.handleHealthz)
@@ -106,6 +138,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/studies/{seed}/groupby", s.handleGroupBy)
 	s.route("GET /v1/studies/{seed}/metrics/reliability", s.handleReliability)
 	s.route("GET /v1/studies/{seed}/tables/{id}", s.handleTable)
+	s.route("GET /v1/snapshots/{seed}", s.handleSnapshot)
 	return s, nil
 }
 
@@ -117,9 +150,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// route registers a handler wrapped with the per-request deadline and the
-// metrics middleware. The mux pattern (minus the method) is the metrics
-// route label, so labels have bounded cardinality.
+// route registers a handler wrapped with the per-request deadline, gzip
+// negotiation, and the metrics middleware. The mux pattern (minus the
+// method) is the metrics route label, so labels have bounded cardinality.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	label := pattern
 	if _, path, ok := strings.Cut(pattern, " "); ok {
@@ -130,12 +163,23 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		h(rec, r.WithContext(ctx))
+		// Responses differ by negotiated encoding, so every cache between
+		// here and the client must key on it.
+		w.Header().Set("Vary", "Accept-Encoding")
+		if acceptsGzip(r) {
+			gz := newGzipResponseWriter(rec)
+			h(gz, r.WithContext(ctx))
+			gz.close()
+		} else {
+			h(rec, r.WithContext(ctx))
+		}
 		s.metrics.Observe(label, rec.code, time.Since(start).Seconds())
 	})
 }
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code for metrics. It forwards the
+// optional streaming interfaces — hiding them would silently buffer whole
+// responses on the proxy and snapshot-distribution paths.
 type statusRecorder struct {
 	http.ResponseWriter
 	code int
@@ -145,6 +189,24 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards http.Flusher so a handler's flush reaches the client
+// instead of dying in the wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom forwards io.ReaderFrom, keeping the sendfile fast path for
+// snapshot streaming; the fallback strips the method so io.Copy cannot
+// recurse back into this one.
+func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(src)
+	}
+	return io.Copy(struct{ io.Writer }{r.ResponseWriter}, src)
 }
 
 // apiError is the JSON error envelope.
@@ -161,13 +223,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError emits a JSON error response.
+// writeError emits a JSON error response. Any study validator stamped
+// onto the headers before the failure was discovered is withdrawn first:
+// an error response describes the failure, not the study, and must never
+// be cached against the study's entity tag.
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	h := w.Header()
+	h.Del("ETag")
+	h.Del("Cache-Control")
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
 // study resolves the {seed} path segment and returns the cached (or
-// freshly built) study. A false return means the response is written.
+// freshly built) study, after running the conditional-request check. A
+// false return means the response — error or 304 — is written.
 func (s *Server) study(w http.ResponseWriter, r *http.Request) (*Study, bool) {
 	seed, err := strconv.ParseInt(r.PathValue("seed"), 10, 64)
 	if err != nil {
@@ -175,13 +244,25 @@ func (s *Server) study(w http.ResponseWriter, r *http.Request) (*Study, bool) {
 		return nil, false
 	}
 	study, err := s.cache.Get(r.Context(), seed)
-	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			writeError(w, http.StatusGatewayTimeout,
-				"study %d still building; retry shortly", seed)
-			return nil, false
-		}
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		// The request deadline expired while the build kept running in the
+		// background; the retry the hint asks for hits the warm cache.
+		writeError(w, http.StatusGatewayTimeout,
+			"study %d still building; retry shortly", seed)
+		return nil, false
+	case errors.Is(err, context.Canceled):
+		// The client hung up — not a timeout, and nobody is left to read a
+		// retry hint. 499 keeps disconnects out of the 5xx budget; the
+		// build still completes in the background for the next caller.
+		writeError(w, statusClientClosedRequest, "study %d: client closed request", seed)
+		return nil, false
+	default:
 		writeError(w, http.StatusInternalServerError, "build study %d: %v", seed, err)
+		return nil, false
+	}
+	if conditional(w, r, study) {
 		return nil, false
 	}
 	return study, true
@@ -248,12 +329,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDisengagements lists filtered, paginated disengagement events.
+// Cheap parameter validation runs before the study is resolved: a
+// malformed limit must cost a 400, not a multi-hundred-millisecond
+// pipeline build on a cold cache.
 func (s *Server) handleDisengagements(w http.ResponseWriter, r *http.Request) {
-	study, ok := s.study(w, r)
+	page, ok := pageFromQuery(w, r)
 	if !ok {
 		return
 	}
-	page, ok := pageFromQuery(w, r)
+	study, ok := s.study(w, r)
 	if !ok {
 		return
 	}
@@ -273,11 +357,13 @@ type AccidentPage = query.AccidentPage
 // The filtering lives in query.Engine.Accidents — one tested path shared
 // with the CLI — instead of being reimplemented inline here.
 func (s *Server) handleAccidents(w http.ResponseWriter, r *http.Request) {
-	study, ok := s.study(w, r)
+	// Like handleDisengagements: validate the cheap paging parameters
+	// before paying for (and caching) a study build.
+	page, ok := pageFromQuery(w, r)
 	if !ok {
 		return
 	}
-	page, ok := pageFromQuery(w, r)
+	study, ok := s.study(w, r)
 	if !ok {
 		return
 	}
@@ -300,14 +386,16 @@ type GroupByResponse struct {
 
 // handleGroupBy counts filtered events per value of the ?by= column.
 func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
-	study, ok := s.study(w, r)
-	if !ok {
-		return
-	}
+	// Same ordering discipline as the listing handlers: a missing by
+	// parameter is knowable without building the study.
 	by := r.URL.Query().Get("by")
 	if by == "" {
 		writeError(w, http.StatusBadRequest,
 			"missing by parameter: want one of %s", strings.Join(query.GroupColumns(), ", "))
+		return
+	}
+	study, ok := s.study(w, r)
+	if !ok {
 		return
 	}
 	groups, err := study.Engine.GroupCount(filterFromQuery(r), by)
@@ -378,6 +466,43 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, text)
+}
+
+// handleSnapshot streams the seed's raw v2 snapshot file — the peer
+// distribution endpoint. A backend that misses locally pulls from here
+// instead of paying a pipeline rebuild; the puller re-verifies the CRC on
+// receipt, so this side just streams bytes. 404 means "not held here"
+// and is a normal miss for the fetcher, not an error.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	seed, err := strconv.ParseInt(r.PathValue("seed"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad seed %q: want an integer", r.PathValue("seed"))
+		return
+	}
+	if s.snapDir == "" || !s.snapV2 {
+		writeError(w, http.StatusNotFound, "snapshot distribution disabled: no v2 snapshot directory")
+		return
+	}
+	f, err := os.Open(snapshot2.Path(s.snapDir, seed))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			writeError(w, http.StatusNotFound, "no snapshot for seed %d", seed)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "open snapshot for seed %d: %v", seed, err)
+		return
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "stat snapshot for seed %d: %v", seed, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// ServeContent supplies Content-Length, range requests, and
+	// If-Modified-Since for free; the gzip middleware leaves the
+	// octet-stream body identity-encoded.
+	http.ServeContent(w, r, "", st.ModTime(), f)
 }
 
 // writeQueryError maps engine errors to status codes: malformed client

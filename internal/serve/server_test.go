@@ -572,7 +572,7 @@ func TestSnapshotTierColdStart(t *testing.T) {
 // materialization — without a pipeline build or a v1 read.
 func TestSnapshot2TierColdStart(t *testing.T) {
 	dir := t.TempDir()
-	if err := snapshot2.WriteSeed(dir, 1, testDB(t)); err != nil {
+	if _, err := snapshot2.WriteSeed(dir, 1, testDB(t)); err != nil {
 		t.Fatal(err)
 	}
 	var calls atomic.Int64
@@ -749,7 +749,7 @@ func TestSnapshot2CorruptFallsBackToV1(t *testing.T) {
 	if err := snapshot.WriteSeed(dir, 1, db); err != nil {
 		t.Fatal(err)
 	}
-	if err := snapshot2.WriteSeed(dir, 1, db); err != nil {
+	if _, err := snapshot2.WriteSeed(dir, 1, db); err != nil {
 		t.Fatal(err)
 	}
 	path := snapshot2.Path(dir, 1)

@@ -50,7 +50,7 @@ func openV2(tb testing.TB, dir string, seed int64) (*View, *query.Engine) {
 // byte size is reported alongside ns/op for the perf-trajectory artifact.
 func BenchmarkSnapshotV2Load(b *testing.B) {
 	dir := b.TempDir()
-	if err := WriteSeed(dir, 1, buildStudy(b, 1)); err != nil {
+	if _, err := WriteSeed(dir, 1, buildStudy(b, 1)); err != nil {
 		b.Fatal(err)
 	}
 	var size int
@@ -70,7 +70,7 @@ func BenchmarkSnapshotV2Write(b *testing.B) {
 	dir := b.TempDir()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := WriteSeed(dir, 1, db); err != nil {
+		if _, err := WriteSeed(dir, 1, db); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +90,7 @@ func TestSnapshotV2LoadSpeedup(t *testing.T) {
 	if err := snapshot.WriteSeed(dir, 1, db); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteSeed(dir, 1, db); err != nil {
+	if _, err := WriteSeed(dir, 1, db); err != nil {
 		t.Fatal(err)
 	}
 

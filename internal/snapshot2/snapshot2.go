@@ -429,12 +429,39 @@ func f64Bytes(vals []float64) []byte {
 // temporary file in the same directory and renamed into place, so readers
 // never observe a half-written file. Atomic replacement also means a
 // reader that already mapped the previous file keeps its (complete,
-// consistent) bytes — the unlinked inode stays alive until unmapped.
-func Write(path string, db *core.DB) error {
+// consistent) bytes — the unlinked inode stays alive until unmapped. It
+// returns the payload's CRC-32C, the same value View.Checksum reports for
+// the written file, so write-through callers can derive ETags without
+// re-reading what they just wrote.
+func Write(path string, db *core.DB) (uint32, error) {
 	data, err := Encode(db)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	crc := binary.LittleEndian.Uint32(data[len(magic)+10:])
+	if err := writeFileAtomic(path, data); err != nil {
+		return 0, err
+	}
+	return crc, nil
+}
+
+// WriteSeed persists the database under dir with the canonical per-seed v2
+// file name, returning the payload checksum like Write.
+func WriteSeed(dir string, seed int64, db *core.DB) (uint32, error) {
+	return Write(Path(dir, seed), db)
+}
+
+// WriteSeedBytes atomically installs already-encoded snapshot bytes as the
+// canonical v2 file for seed — the landing step of a peer snapshot fetch.
+// The caller is responsible for having validated data (NewView) first;
+// this function only guarantees the atomic, never-half-written placement.
+func WriteSeedBytes(dir string, seed int64, data []byte) error {
+	return writeFileAtomic(Path(dir, seed), data)
+}
+
+// writeFileAtomic stages data in a temporary file beside path and renames
+// it into place.
+func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("snapshot2: %w", err)
@@ -463,10 +490,4 @@ func Write(path string, db *core.DB) error {
 		return fmt.Errorf("snapshot2: %w", err)
 	}
 	return nil
-}
-
-// WriteSeed persists the database under dir with the canonical per-seed v2
-// file name.
-func WriteSeed(dir string, seed int64, db *core.DB) error {
-	return Write(Path(dir, seed), db)
 }

@@ -158,7 +158,7 @@ func TestViewRoundTripEmpty(t *testing.T) {
 func TestWriteReadRewrite(t *testing.T) {
 	dir := t.TempDir()
 	db := testDB(7, 120, 15)
-	if err := WriteSeed(dir, 7, db); err != nil {
+	if _, err := WriteSeed(dir, 7, db); err != nil {
 		t.Fatal(err)
 	}
 	first, err := os.ReadFile(Path(dir, 7))
@@ -179,7 +179,7 @@ func TestWriteReadRewrite(t *testing.T) {
 	if err := v.Close(); err != nil { // Close is idempotent
 		t.Fatal(err)
 	}
-	if err := WriteSeed(dir, 7, loaded); err != nil {
+	if _, err := WriteSeed(dir, 7, loaded); err != nil {
 		t.Fatal(err)
 	}
 	second, err := os.ReadFile(Path(dir, 7))

@@ -33,6 +33,7 @@ import (
 // Database() result remain valid — they never alias the mapped bytes.
 type View struct {
 	data   []byte
+	crc    uint32
 	closer func() error
 	closed atomic.Bool
 
@@ -101,7 +102,7 @@ func NewView(data []byte) (*View, error) {
 		return nil, &ChecksumError{Got: got, Want: want}
 	}
 
-	v := &View{data: data}
+	v := &View{data: data, crc: want}
 	if err := v.parseSections(payload); err != nil {
 		return nil, err
 	}
@@ -526,6 +527,12 @@ func (v *View) materialize() *core.DB {
 
 // Size returns the snapshot's total byte length (header + payload).
 func (v *View) Size() int { return len(v.data) }
+
+// Checksum returns the snapshot's CRC-32C payload checksum, verified at
+// open. Encoding is deterministic, so the checksum identifies the study's
+// content: every node serving the same seed reports the same value, which
+// is what lets the serving layer derive HTTP ETags from it.
+func (v *View) Checksum() uint32 { return v.crc }
 
 // Close releases the backing mapping for views opened by Open; it is
 // idempotent and a no-op for views over caller-owned bytes (NewView).

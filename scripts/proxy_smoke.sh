@@ -1,0 +1,150 @@
+#!/bin/sh
+# proxy_smoke.sh — end-to-end smoke for the sharded serving topology
+# (`make proxy-smoke`): one avserve -proxy in front of two backends, the
+# second backend peered to the first for snapshot pull-through.
+#
+# Expects bin/avserve and bin/avload to exist (the make target builds
+# them). Writes proxy-single-report.json (direct single-backend baseline)
+# and proxy-report.json (sharded run through the proxy) for benchjson.
+#
+# What it proves, in order:
+#   1. both shards take traffic (per-backend proxy counters nonzero);
+#   2. repeated conditional requests return 304 through the proxy, both
+#      via avload -conditional-every and a direct If-None-Match replay;
+#   3. the two backends give byte-identical answers (and ETags) for the
+#      same study — content-addressed snapshots, not luck;
+#   4. a backend restarted with an empty snapshot directory warm-starts
+#      from its peer: zero pipeline builds, >= 1 snapshot fetch;
+#   5. on boxes with cores to spare (>= 3), sharded throughput is at
+#      least 1.5x the single-backend baseline.
+set -eu
+
+PROXY_ADDR=${PROXY_ADDR:-127.0.0.1:18090}
+B1_ADDR=${B1_ADDR:-127.0.0.1:18091}
+B2_ADDR=${B2_ADDR:-127.0.0.1:18092}
+DURATION=${PROXY_LOAD_DURATION:-10s}
+SEEDS=${PROXY_SEEDS:-1,2}
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+	wait 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+	echo "proxy-smoke: FAIL: $*" >&2
+	for log in "$TMP"/*.log; do
+		[ -f "$log" ] && { echo "--- $log" >&2; tail -5 "$log" >&2; }
+	done
+	exit 1
+}
+
+# metric <addr> <name> — print a counter from /metrics, 0 if absent. The
+# name must match the full first token, labels included.
+metric() {
+	curl -fsS "http://$1/metrics" |
+		awk -v m="$2" '$1 == m {print $2; found=1} END {if (!found) print 0}'
+}
+
+# rps <report.json> — pull the top-level rps out of an avload/1 report.
+rps() {
+	awk -F'[:,]' '/"rps"/ {gsub(/[" ]/, "", $2); print $2; exit}' "$1"
+}
+
+wait_healthy() {
+	for i in $(seq 1 100); do
+		if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+		sleep 0.2
+	done
+	fail "$1 never answered /healthz"
+}
+
+mkdir -p "$TMP/snap1" "$TMP/snap2"
+
+echo "proxy-smoke: starting 2 backends + proxy"
+bin/avserve -addr "$B1_ADDR" -snapshot-dir "$TMP/snap1" -duration 600s 2>"$TMP/b1.log" &
+PIDS="$PIDS $!"
+bin/avserve -addr "$B2_ADDR" -snapshot-dir "$TMP/snap2" -peers "http://$B1_ADDR" -duration 600s 2>"$TMP/b2.log" &
+B2_PID=$!
+PIDS="$PIDS $B2_PID"
+bin/avserve -proxy -backends "http://$B1_ADDR,http://$B2_ADDR" -addr "$PROXY_ADDR" -duration 600s 2>"$TMP/proxy.log" &
+PIDS="$PIDS $!"
+wait_healthy "$B1_ADDR"
+wait_healthy "$B2_ADDR"
+wait_healthy "$PROXY_ADDR"
+
+# Phase 1: single-backend baseline, straight at backend 1. Also builds the
+# warm seeds there and writes their snapshots through — the material the
+# peer pull-through below distributes.
+echo "proxy-smoke: single-backend baseline against $B1_ADDR"
+bin/avload -url "http://$B1_ADDR" -duration "$DURATION" -c 4 -seeds "$SEEDS" \
+	-warmup 240s -json -fail-on-errors -o proxy-single-report.json \
+	|| fail "single-backend baseline run"
+
+# Phase 2: the same load sharded through the proxy, with every 4th request
+# a conditional replay.
+echo "proxy-smoke: sharded run through $PROXY_ADDR"
+bin/avload -url "http://$PROXY_ADDR" -duration "$DURATION" -c 4 -seeds "$SEEDS" \
+	-conditional-every 4 -warmup 240s -json -fail-on-errors -o proxy-report.json \
+	|| fail "sharded proxy run"
+
+# 1. Both shards took traffic.
+for b in "http://$B1_ADDR" "http://$B2_ADDR"; do
+	n=$(metric "$PROXY_ADDR" "avserve_proxy_backend_requests_total{backend=\"$b\"}")
+	[ "$n" -gt 0 ] || fail "proxy shard counter for $b is $n, want > 0"
+done
+
+# 2. Conditional requests returned 304s — in the load run and by hand.
+grep -q '"notModified"' proxy-report.json || fail "avload saw no 304s through the proxy"
+q1="http://$PROXY_ADDR/v1/studies/1/groupby?by=category"
+tag=$(curl -fsS -D- -o /dev/null -H 'Accept-Encoding: identity' "$q1" |
+	awk -F': ' 'tolower($1) == "etag" {print $2}' | tr -d '\r')
+[ -n "$tag" ] || fail "no ETag on $q1"
+code=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $tag" -H 'Accept-Encoding: identity' "$q1")
+[ "$code" = 304 ] || fail "conditional replay of $q1 = $code, want 304"
+
+# 3. Byte-identical answers from either backend. Asking backend 2 directly
+# forces it to hold seed 1 (peer-fetched or built); the bodies and the
+# content-addressed ETags must match backend 1's exactly.
+q="/v1/studies/1/disengagements?mfr=Waymo&limit=25"
+curl -fsS -D "$TMP/b1.hdr" -H 'Accept-Encoding: identity' "http://$B1_ADDR$q" >"$TMP/b1.body"
+curl -fsS -D "$TMP/b2.hdr" -H 'Accept-Encoding: identity' "http://$B2_ADDR$q" >"$TMP/b2.body"
+cmp -s "$TMP/b1.body" "$TMP/b2.body" || fail "backends disagree on $q"
+t1=$(awk -F': ' 'tolower($1) == "etag" {print $2}' "$TMP/b1.hdr" | tr -d '\r')
+t2=$(awk -F': ' 'tolower($1) == "etag" {print $2}' "$TMP/b2.hdr" | tr -d '\r')
+[ -n "$t1" ] && [ "$t1" = "$t2" ] || fail "backend ETags differ: $t1 vs $t2"
+
+# 4. Warm-start: restart backend 2 with a wiped snapshot directory. It
+# must serve seed 1 by pulling the snapshot from backend 1 — zero builds.
+echo "proxy-smoke: restarting $B2_ADDR with an empty snapshot dir"
+kill "$B2_PID" 2>/dev/null || true
+wait "$B2_PID" 2>/dev/null || true
+rm -rf "$TMP/snap2"
+mkdir -p "$TMP/snap2"
+bin/avserve -addr "$B2_ADDR" -snapshot-dir "$TMP/snap2" -peers "http://$B1_ADDR" -duration 600s 2>>"$TMP/b2.log" &
+B2_PID=$!
+PIDS="$PIDS $B2_PID"
+wait_healthy "$B2_ADDR"
+curl -fsS "http://$B2_ADDR/v1/studies/1/disengagements?limit=1" >/dev/null \
+	|| fail "restarted backend cannot serve seed 1"
+builds=$(metric "$B2_ADDR" avserve_cache_builds_total)
+fetches=$(metric "$B2_ADDR" avserve_snapshot_fetches_total)
+[ "$builds" = 0 ] || fail "restarted backend ran $builds pipeline builds, want 0 (peer warm-start)"
+[ "$fetches" -ge 1 ] || fail "restarted backend fetched $fetches snapshots, want >= 1"
+
+# 5. Throughput scaling, where the box can show it.
+single_rps=$(rps proxy-single-report.json)
+sharded_rps=$(rps proxy-report.json)
+cores=$( (nproc || sysctl -n hw.ncpu) 2>/dev/null | head -1 )
+: "${cores:=1}"
+if [ "$cores" -ge 3 ]; then
+	awk -v a="$sharded_rps" -v b="$single_rps" 'BEGIN {exit !(a >= 1.5 * b)}' \
+		|| fail "sharded rps $sharded_rps < 1.5x single-backend $single_rps"
+else
+	echo "proxy-smoke: $cores core(s): skipping the 1.5x scaling gate (sharded $sharded_rps rps vs single $single_rps)"
+fi
+
+echo "proxy-smoke: OK — single $single_rps rps, sharded $sharded_rps rps, both shards hot, 304s observed, peer warm-start with 0 builds"
