@@ -25,11 +25,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Build the analyzer suite once, then run it over the whole repository.
-# See DESIGN.md system #21 for what each analyzer enforces.
+# Build the analyzer suite once, run it over the whole repository, and
+# fold the per-analyzer wall times into the day's BENCH artifact so the
+# lint cost is tracked like any other perf trajectory. See DESIGN.md
+# systems #21 and #25 for what each analyzer enforces. The fold runs only
+# when the tree is clean — a lint failure fails the target first.
 lint:
 	$(GO) build -o bin/avlint ./cmd/avlint
-	./bin/avlint ./...
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	./bin/avlint -timings lint-timings.json ./...
+	./bin/benchjson -merge BENCH_$(BENCH_DATE).json -flat lint-timings.json \
+		-o BENCH_$(BENCH_DATE).json < /dev/null
+	@echo "folded lint timings into BENCH_$(BENCH_DATE).json"
 
 # Short fuzz smoke over both snapshot readers: arbitrary bytes must yield
 # a typed error or a valid DB/view, never a panic (and for v2, never a

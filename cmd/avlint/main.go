@@ -4,18 +4,23 @@
 //
 // Usage:
 //
-//	avlint [-disable name,name] [-list] [-json] [-gha] [-parallel n] [packages]
+//	avlint [-disable name,name] [-list] [-json] [-gha] [-timings file]
+//	       [-parallel n] [packages]
 //
 // With no package patterns it lints ./... from the current directory. Each
 // diagnostic prints as
 //
 //	path/file.go:line:col: [analyzer] message
 //
-// -json switches stdout to a machine-readable JSON array of findings, and
-// -gha to GitHub Actions workflow commands (::error file=...) so CI
-// annotates the offending lines in pull requests. -parallel bounds the
-// loading/analysis worker pools (default: all cores); wall time is
-// reported on stderr either way.
+// -json switches stdout to a machine-readable JSON object with a
+// "findings" array and a "timings_ns" map of cumulative per-analyzer wall
+// time, and -gha to GitHub Actions workflow commands (::error file=...)
+// so CI annotates the offending lines in pull requests. -timings writes
+// the same per-analyzer times plus the total as a flat benchjson-style
+// JSON object ({"Lint/total_ns": ..., "Lint/<analyzer>_ns": ...}) to the
+// named file, so the lint job's cost lands in BENCH_<date>.json next to
+// the benchmark numbers. -parallel bounds the loading/analysis worker
+// pools (default: all cores); wall time is reported on stderr either way.
 //
 // Exit status is 0 when the tree is clean, 1 when diagnostics were
 // reported, and 2 when loading or analysis itself failed — a package that
@@ -51,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("C", ".", "run as if started in this directory")
 	jsonOut := fs.Bool("json", false, "print findings as a JSON array")
 	gha := fs.Bool("gha", false, "print findings as GitHub Actions ::error annotations")
+	timingsOut := fs.String("timings", "", "write per-analyzer wall times as flat benchjson JSON to this file")
 	parallel := fs.Int("parallel", 0, "worker pool size for loading and analysis (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "avlint:", err)
 		return 2
 	}
-	diags, err := lint.RunParallel(pkgs, analyzers, *parallel)
+	diags, timings, err := lint.RunTimed(pkgs, analyzers, *parallel)
 	if err != nil {
 		fmt.Fprintln(stderr, "avlint:", err)
 		return 2
@@ -89,9 +95,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range diags {
 		diags[i].Pos.Filename = relativize(cwd, diags[i].Pos.Filename)
 	}
+	if *timingsOut != "" {
+		if err := writeTimingsFile(*timingsOut, elapsed, timings); err != nil {
+			fmt.Fprintln(stderr, "avlint:", err)
+			return 2
+		}
+	}
 	switch {
 	case *jsonOut:
-		if err := writeJSON(stdout, diags); err != nil {
+		if err := writeJSON(stdout, diags, timings); err != nil {
 			fmt.Fprintln(stderr, "avlint:", err)
 			return 2
 		}
@@ -132,9 +144,18 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
-// writeJSON renders the findings as a JSON array ([] when clean, so
-// consumers can always unmarshal).
-func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+// jsonReport is the -json stdout payload: the findings plus each
+// analyzer's cumulative wall time in nanoseconds. "findings" is always
+// present (empty array when clean), so consumers can unmarshal
+// unconditionally.
+type jsonReport struct {
+	Findings  []jsonFinding    `json:"findings"`
+	TimingsNS map[string]int64 `json:"timings_ns"`
+}
+
+// writeJSON renders the findings and per-analyzer timings as one JSON
+// object.
+func writeJSON(w io.Writer, diags []lint.Diagnostic, timings lint.Timings) error {
 	findings := make([]jsonFinding, 0, len(diags))
 	for _, d := range diags {
 		findings = append(findings, jsonFinding{
@@ -145,9 +166,30 @@ func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
 			Message:  d.Message,
 		})
 	}
+	ns := make(map[string]int64, len(timings))
+	for name, d := range timings {
+		ns[name] = d.Nanoseconds()
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(findings)
+	return enc.Encode(jsonReport{Findings: findings, TimingsNS: ns})
+}
+
+// writeTimingsFile writes the lint cost as a flat benchjson-compatible
+// object — "Lint/total_ns" for the whole run (loading included) and
+// "Lint/<analyzer>_ns" per analyzer — so `make bench-commit` tooling can
+// merge it into the day's BENCH_<date>.json.
+func writeTimingsFile(path string, total time.Duration, timings lint.Timings) error {
+	flat := make(map[string]int64, len(timings)+1)
+	flat["Lint/total_ns"] = total.Nanoseconds()
+	for name, d := range timings {
+		flat["Lint/"+name+"_ns"] = d.Nanoseconds()
+	}
+	buf, err := json.MarshalIndent(flat, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // writeAnnotations renders findings as GitHub Actions workflow commands so

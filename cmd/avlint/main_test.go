@@ -124,7 +124,10 @@ func TestBrokenPackageExitsTwo(t *testing.T) {
 }
 
 // TestJSONOutput pins the -json contract: exit 1 on findings, stdout is a
-// parseable array carrying file/line/analyzer/message for each.
+// parseable object whose "findings" array carries file/line/analyzer/
+// message for each diagnostic — one per dirty-fixture violation,
+// covering the interprocedural gen-3 analyzers alongside errsubstr —
+// and whose "timings_ns" map names every analyzer that ran.
 func TestJSONOutput(t *testing.T) {
 	dirty := filepath.Join(repoRoot(t), "cmd", "avlint", "testdata", "dirty")
 	var stdout, stderr bytes.Buffer
@@ -132,35 +135,93 @@ func TestJSONOutput(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("dirty fixture exited %d, want 1\nstderr: %s", code, stderr.String())
 	}
-	var findings []jsonFinding
-	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
-		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	var report jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not a JSON object: %v\n%s", err, stdout.String())
 	}
-	if len(findings) != 1 {
-		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	// One finding per fixture file, keyed by analyzer; the dirty module
+	// exists to give every output mode a stable non-empty result set.
+	want := map[string]string{
+		"errsubstr": "dirty.go",
+		"resleak":   "leak.go",
+		"taintflow": "taint.go",
+		"viewlife":  "view.go",
 	}
-	f := findings[0]
-	if f.Analyzer != "errsubstr" || !strings.HasSuffix(f.File, "dirty.go") || f.Line == 0 || f.Message == "" {
-		t.Errorf("finding fields wrong: %+v", f)
+	got := map[string]string{}
+	for _, f := range report.Findings {
+		if f.Line == 0 || f.Message == "" {
+			t.Errorf("finding fields wrong: %+v", f)
+		}
+		got[f.Analyzer] = filepath.Base(f.File)
+	}
+	if len(report.Findings) != len(want) {
+		t.Errorf("got %d findings, want %d: %+v", len(report.Findings), len(want), report.Findings)
+	}
+	for analyzer, file := range want {
+		if got[analyzer] != file {
+			t.Errorf("analyzer %s flagged %q, want %q", analyzer, got[analyzer], file)
+		}
+	}
+	for _, a := range lint.All() {
+		if _, ok := report.TimingsNS[a.Name]; !ok {
+			t.Errorf("timings_ns missing analyzer %q", a.Name)
+		}
 	}
 }
 
 // TestJSONOutputCleanTree pins that a clean tree still emits a valid
-// (empty) JSON array, so CI consumers can always unmarshal stdout.
+// object with an empty (non-null) findings array, so CI consumers can
+// always unmarshal stdout.
 func TestJSONOutputCleanTree(t *testing.T) {
-	// The dirty module is clean once its one offending analyzer is disabled.
+	// The dirty module is clean once its offending analyzers are disabled.
 	dirty := filepath.Join(repoRoot(t), "cmd", "avlint", "testdata", "dirty")
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"-C", dirty, "-json", "-disable", "errsubstr", "./..."}, &stdout, &stderr)
+	code := run([]string{"-C", dirty, "-json",
+		"-disable", "errsubstr,resleak,taintflow,viewlife", "./..."}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exited %d, want 0\nstderr: %s", code, stderr.String())
 	}
-	var findings []jsonFinding
-	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
-		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout.String())
+	var report jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not a JSON object: %v\n%s", err, stdout.String())
 	}
-	if len(findings) != 0 {
-		t.Errorf("got %d findings, want 0", len(findings))
+	if len(report.Findings) != 0 {
+		t.Errorf("got %d findings, want 0", len(report.Findings))
+	}
+	if report.Findings == nil {
+		t.Error("findings is null, want an empty array")
+	}
+}
+
+// TestTimingsFile pins the -timings contract: a flat benchjson-style
+// object with Lint/total_ns and one Lint/<analyzer>_ns key per analyzer,
+// every value positive so merged BENCH files never carry zero costs.
+func TestTimingsFile(t *testing.T) {
+	dirty := filepath.Join(repoRoot(t), "cmd", "avlint", "testdata", "dirty")
+	out := filepath.Join(t.TempDir(), "lint.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dirty, "-timings", out, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("dirty fixture exited %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]int64
+	if err := json.Unmarshal(buf, &flat); err != nil {
+		t.Fatalf("-timings file is not flat JSON: %v\n%s", err, buf)
+	}
+	if flat["Lint/total_ns"] <= 0 {
+		t.Errorf("Lint/total_ns = %d, want > 0", flat["Lint/total_ns"])
+	}
+	for _, a := range lint.All() {
+		if flat["Lint/"+a.Name+"_ns"] <= 0 {
+			t.Errorf("Lint/%s_ns = %d, want > 0", a.Name, flat["Lint/"+a.Name+"_ns"])
+		}
+	}
+	if len(flat) != len(lint.All())+1 {
+		t.Errorf("got %d keys, want %d", len(flat), len(lint.All())+1)
 	}
 }
 

@@ -1,0 +1,25 @@
+// Package query is an in-module stand-in for the real engine: taintflow
+// recognizes Engine methods by the internal/query path suffix, so the
+// dirty fixture carries a stable taint finding without importing avfda.
+package query
+
+// Filter is the structured carrier taintflow exempts.
+type Filter struct {
+	Manufacturer string
+}
+
+// GroupCount is one group's tally.
+type GroupCount struct {
+	Key string
+	N   int
+}
+
+// Engine is the sink receiver.
+type Engine struct{}
+
+// GroupCount mirrors the real sink's shape: the by column is the
+// injection surface and must be validated upstream.
+func (e *Engine) GroupCount(f Filter, by string) ([]GroupCount, error) {
+	_ = by
+	return nil, nil
+}

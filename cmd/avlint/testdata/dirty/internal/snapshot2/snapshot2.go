@@ -1,0 +1,11 @@
+// Package snapshot2 is an in-module stand-in for the mapped-view type:
+// viewlife recognizes View borrows by the internal/snapshot2 path suffix.
+package snapshot2
+
+// View models the mmap-backed study view.
+type View struct {
+	data []byte
+}
+
+// Payload returns a window into the mapping — a borrow, not a copy.
+func (v *View) Payload() []byte { return v.data }

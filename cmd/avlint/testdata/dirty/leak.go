@@ -1,0 +1,13 @@
+package dirty
+
+import "os"
+
+// LeakHandle opens a file and forgets it on the success path — the
+// stable resleak finding the output-mode tests assert on.
+func LeakHandle(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}

@@ -1,0 +1,15 @@
+package dirty
+
+import (
+	"net/http"
+
+	"dirtyfixture/internal/query"
+)
+
+// RawGroupBy forwards the raw ?by= parameter straight into the engine —
+// the stable taintflow finding the output-mode tests assert on.
+func RawGroupBy(e *query.Engine, r *http.Request) error {
+	by := r.URL.Query().Get("by")
+	_, err := e.GroupCount(query.Filter{}, by)
+	return err
+}

@@ -1,0 +1,11 @@
+package dirty
+
+import "dirtyfixture/internal/snapshot2"
+
+var cachedPayload []byte
+
+// CachePayload stores mapped bytes past the view's release scope — the
+// stable viewlife finding the output-mode tests assert on.
+func CachePayload(v *snapshot2.View) {
+	cachedPayload = v.Payload()
+}

@@ -126,16 +126,22 @@ func run() error {
 func loadEngine(snapDir string, seed int64, v2 bool) (*query.Engine, error) {
 	if snapDir != "" {
 		if v2 {
+			// if/else rather than switch so the resleak analyzer can follow
+			// the err-nil edges; the error path now also unmaps the view
+			// instead of leaking the mapping for the process lifetime.
 			view, err := snapshot2.OpenSeed(snapDir, seed)
-			switch {
-			case err == nil:
+			if err == nil {
 				fmt.Fprintf(os.Stderr, "mapped snapshot %s\n", snapshot2.Path(snapDir, seed))
-				return query.NewFromSource(view, view.Database)
-			case errors.Is(err, fs.ErrNotExist):
-				// Fall through to the v1 file.
-			default:
+				eng, err := query.NewFromSource(view, view.Database)
+				if err != nil {
+					view.Close()
+					return nil, err
+				}
+				return eng, nil
+			} else if !errors.Is(err, fs.ErrNotExist) {
 				return nil, err
 			}
+			// Not-exist falls through to the v1 file.
 		}
 		db, err := snapshot.ReadSeed(snapDir, seed)
 		switch {

@@ -90,6 +90,9 @@ func run(args []string) error {
 		p, err := serve.NewProxy(serve.ProxyConfig{
 			Backends: splitList(*backends),
 			Replicas: *replicate,
+			Debugf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "avserve: "+format+"\n", args...)
+			},
 		})
 		if err != nil {
 			return err

@@ -31,6 +31,12 @@
 // ProxyLoad=proxy.json` folds the first under ServeLoad/ (the default) and
 // the second under ProxyLoad/, which is how the proxy-smoke harness lands
 // the single-backend and sharded runs side by side in one artifact.
+//
+// -flat folds a file that is already a flat name→number JSON map (e.g.
+// `avlint -timings`'s Lint/total_ns + per-analyzer costs) verbatim — keys
+// are taken as fully qualified. Like -load it repeats and makes stdin
+// benchmark input optional, which is how `make lint` lands the analyzer
+// suite's wall times in the day's BENCH artifact.
 package main
 
 import (
@@ -58,19 +64,21 @@ func main() {
 	merge := flag.String("merge", "", "start from this existing BENCH json, overlaying stdin and -load keys (missing file = empty start)")
 	var loads loadList
 	flag.Var(&loads, "load", "fold an avload -json report into the output (repeatable; [Prefix=]path, default prefix ServeLoad)")
+	var flats loadList
+	flag.Var(&flats, "flat", "fold a flat name→number JSON map into the output verbatim (repeatable; e.g. avlint -timings output)")
 	flag.Parse()
 
-	if err := run(*out, *merge, loads, os.Stdin, os.Stdout); err != nil {
+	if err := run(*out, *merge, loads, flats, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-// run reads benchmark text from stdin and any avload reports, then writes
-// the merged flat JSON map. With -merge, keys from an earlier artifact
-// survive so separate harnesses (bench-json, load-smoke, proxy-smoke) can
-// each fold their slice into one BENCH_<date>.json.
-func run(outPath, mergePath string, loads []string, stdin io.Reader, stdout io.Writer) error {
+// run reads benchmark text from stdin and any avload reports or flat
+// maps, then writes the merged flat JSON map. With -merge, keys from an
+// earlier artifact survive so separate harnesses (bench-json, load-smoke,
+// proxy-smoke, lint) can each fold their slice into one BENCH_<date>.json.
+func run(outPath, mergePath string, loads, flats []string, stdin io.Reader, stdout io.Writer) error {
 	base := make(map[string]float64)
 	if mergePath != "" {
 		raw, err := os.ReadFile(mergePath)
@@ -106,8 +114,21 @@ func run(outPath, mergePath string, loads []string, stdin io.Reader, stdout io.W
 			results[k] = v
 		}
 	}
+	for _, path := range flats {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("read -flat file: %w", err)
+		}
+		flat := make(map[string]float64)
+		if err := json.Unmarshal(raw, &flat); err != nil {
+			return fmt.Errorf("parse -flat file %s: %w", path, err)
+		}
+		for k, v := range flat {
+			results[k] = v
+		}
+	}
 	if len(results) == 0 {
-		return fmt.Errorf("no benchmark results on stdin (and no -load report)")
+		return fmt.Errorf("no benchmark results on stdin (and no -load or -flat input)")
 	}
 	var w io.Writer = stdout
 	if outPath != "" {

@@ -86,7 +86,7 @@ func TestRunFoldsLoadReport(t *testing.T) {
 
 	bench := "BenchmarkSnapshotLoad-8 \t 10\t 7106071 ns/op\n"
 	var out strings.Builder
-	if err := run("", "", []string{path}, strings.NewReader(bench), &out); err != nil {
+	if err := run("", "", []string{path}, nil, strings.NewReader(bench), &out); err != nil {
 		t.Fatal(err)
 	}
 	var got map[string]float64
@@ -117,10 +117,10 @@ func TestRunFoldsLoadReport(t *testing.T) {
 	}
 
 	// With -load, empty stdin is fine; without it, it stays an error.
-	if err := run("", "", []string{path}, strings.NewReader(""), &strings.Builder{}); err != nil {
+	if err := run("", "", []string{path}, nil, strings.NewReader(""), &strings.Builder{}); err != nil {
 		t.Errorf("empty stdin with -load: %v", err)
 	}
-	if err := run("", "", nil, strings.NewReader(""), &strings.Builder{}); err == nil {
+	if err := run("", "", nil, nil, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Error("empty stdin without -load: want error")
 	}
 }
@@ -151,7 +151,7 @@ func TestRunFoldsMultipleNamedReports(t *testing.T) {
 	proxy := writeReport("proxy.json", 180, 12)
 
 	var out strings.Builder
-	err := run("", "", []string{serve, "ProxyLoad=" + proxy}, strings.NewReader(""), &out)
+	err := run("", "", []string{serve, "ProxyLoad=" + proxy}, nil, strings.NewReader(""), &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestRunMergesExistingArtifact(t *testing.T) {
 	}
 
 	var out strings.Builder
-	if err := run("", benchPath, []string{repPath}, strings.NewReader(""), &out); err != nil {
+	if err := run("", benchPath, []string{repPath}, nil, strings.NewReader(""), &out); err != nil {
 		t.Fatal(err)
 	}
 	var got map[string]float64
@@ -208,10 +208,10 @@ func TestRunMergesExistingArtifact(t *testing.T) {
 		t.Errorf("ServeLoad/rps = %v, want the fresh report (250) to win", got["ServeLoad/rps"])
 	}
 
-	if err := run("", filepath.Join(dir, "absent.json"), []string{repPath}, strings.NewReader(""), &strings.Builder{}); err != nil {
+	if err := run("", filepath.Join(dir, "absent.json"), []string{repPath}, nil, strings.NewReader(""), &strings.Builder{}); err != nil {
 		t.Errorf("missing -merge file should be an empty start: %v", err)
 	}
-	if err := run("", repPath, nil, strings.NewReader(""), &strings.Builder{}); err == nil {
+	if err := run("", repPath, nil, nil, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Error("-merge over a non-BENCH json: want parse error")
 	}
 }
@@ -228,11 +228,11 @@ func TestRunRejectsBadLoadReport(t *testing.T) {
 		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := run("", "", []string{path}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		if err := run("", "", []string{path}, nil, strings.NewReader(""), &strings.Builder{}); err == nil {
 			t.Errorf("%s: want error", name)
 		}
 	}
-	if err := run("", "", []string{filepath.Join(dir, "missing.json")}, strings.NewReader(""), &strings.Builder{}); err == nil {
+	if err := run("", "", []string{filepath.Join(dir, "missing.json")}, nil, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Error("missing -load file: want error")
 	}
 }
@@ -246,5 +246,53 @@ func TestWriteSortedJSON(t *testing.T) {
 	want := "{\n  \"BenchmarkA\": 1.5,\n  \"BenchmarkB\": 2\n}\n"
 	if sb.String() != want {
 		t.Fatalf("write = %q, want %q", sb.String(), want)
+	}
+}
+
+// -flat folds an already-flat name→number map (the avlint -timings shape)
+// verbatim, makes stdin optional, and overlays -merge keys like any other
+// input; malformed or missing files are errors.
+func TestRunFoldsFlatFile(t *testing.T) {
+	dir := t.TempDir()
+	flat := filepath.Join(dir, "lint.json")
+	if err := os.WriteFile(flat, []byte(`{"Lint/total_ns": 1500000000, "Lint/resleak_ns": 250000000}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(base, []byte(`{"BenchmarkTableI": 42, "Lint/total_ns": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run("", base, nil, []string{flat}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkTableI": 42,
+		"Lint/total_ns":   1.5e9, // -flat overlays the stale merged value
+		"Lint/resleak_ns": 2.5e8,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("folded %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`["not", "a", "map"]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", nil, []string{bad}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("malformed -flat file: want error")
+	}
+	if err := run("", "", nil, []string{filepath.Join(dir, "missing.json")}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing -flat file: want error")
 	}
 }

@@ -29,6 +29,17 @@
 //
 // Code after a terminating statement starts a fresh block with no
 // predecessors; the dataflow driver never visits unreachable blocks.
+//
+// # Branch conditions
+//
+// Blocks that end in a boolean condition (if statements and for loops with
+// a condition) record it in Block.Branch, together with which successor is
+// taken when the condition is true and which when it is false. The dataflow
+// driver exposes this through Flow.Branch, letting an analysis refine the
+// state per edge — the load-bearing case is the `if err != nil { return }`
+// idiom, where a resource paired with err is nil (and needs no release) on
+// the error edge. Switch and select dispatch is not modeled as branch
+// conditions; analyses see the unrefined join there.
 package cfg
 
 import (
@@ -61,6 +72,21 @@ type Block struct {
 	Succs []*Block
 	// Preds mirrors Succs.
 	Preds []*Block
+	// Branch, when non-nil, records that the block ends by evaluating a
+	// boolean condition and names the successor taken on each outcome.
+	Branch *Branch
+}
+
+// A Branch is a conditional block exit: Cond is the if/for condition whose
+// value selects between the True and False successors. Both appear in the
+// block's Succs; the dataflow driver uses the pair to refine edge states.
+type Branch struct {
+	// Cond is the condition expression (the block's last node).
+	Cond ast.Expr
+	// True is the successor taken when Cond evaluates true.
+	True *Block
+	// False is the successor taken when Cond evaluates false.
+	False *Block
 }
 
 // New builds the control-flow graph of one function body.
@@ -206,6 +232,7 @@ func (b *builder) ifStmt(s *ast.IfStmt) {
 	if s.Else != nil {
 		elseBlk := b.newBlock()
 		b.edge(cond, elseBlk)
+		cond.Branch = &Branch{Cond: s.Cond, True: thenBlk, False: elseBlk}
 		b.cur = elseBlk
 		b.stmt(s.Else)
 		elseEnd = b.cur
@@ -217,6 +244,7 @@ func (b *builder) ifStmt(s *ast.IfStmt) {
 	}
 	if s.Else == nil {
 		b.edge(cond, join)
+		cond.Branch = &Branch{Cond: s.Cond, True: thenBlk, False: join}
 	} else if elseEnd != nil {
 		b.edge(elseEnd, join)
 	}
@@ -248,6 +276,9 @@ func (b *builder) forStmt(s *ast.ForStmt, label string) {
 	b.pushTargets(label, after, cont)
 	body := b.newBlock()
 	b.edge(head, body)
+	if s.Cond != nil {
+		head.Branch = &Branch{Cond: s.Cond, True: body, False: after}
+	}
 	b.cur = body
 	b.stmts(s.Body.List)
 	if b.cur != nil {

@@ -20,13 +20,20 @@ type Flow[S any] struct {
 	// Clone deep-copies a state so Transfer is free to mutate its working
 	// copy.
 	Clone func(S) S
+	// Branch, when non-nil, refines the state flowing along a conditional
+	// edge: it receives the block's condition, whether this edge is the
+	// true or the false outcome, and a private clone of the out-state it
+	// may mutate and return. Edges out of blocks without a Branch record
+	// (switch dispatch, unconditional flow) are not refined.
+	Branch func(cond ast.Expr, taken bool, s S) S
 }
 
 // Forward computes the entry state of every reachable block by worklist
 // iteration to a fixpoint. Blocks unreachable from Entry are absent from
 // the result map — analyzers must skip them rather than assume a zero
-// state. Termination requires Transfer/Join to be monotone over a finite
-// state space (true for the set-shaped states the lint analyzers use).
+// state. Termination requires Transfer/Join (and Branch refinement) to be
+// monotone over a finite state space (true for the set-shaped states the
+// lint analyzers use).
 func Forward[S any](g *Graph, f Flow[S]) map[*Block]S {
 	in := map[*Block]S{g.Entry: f.Entry}
 	work := []*Block{g.Entry}
@@ -41,12 +48,21 @@ func Forward[S any](g *Graph, f Flow[S]) map[*Block]S {
 			out = f.Transfer(n, out)
 		}
 		for _, succ := range blk.Succs {
+			eff := out
+			if f.Branch != nil && blk.Branch != nil && blk.Branch.True != blk.Branch.False {
+				switch succ {
+				case blk.Branch.True:
+					eff = f.Branch(blk.Branch.Cond, true, f.Clone(out))
+				case blk.Branch.False:
+					eff = f.Branch(blk.Branch.Cond, false, f.Clone(out))
+				}
+			}
 			prev, ok := in[succ]
 			var next S
 			if ok {
-				next = f.Join(prev, out)
+				next = f.Join(prev, eff)
 			} else {
-				next = f.Clone(out)
+				next = f.Clone(eff)
 			}
 			if ok && f.Equal(prev, next) {
 				continue

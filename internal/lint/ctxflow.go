@@ -4,16 +4,6 @@ import (
 	"go/ast"
 )
 
-// ctxPkgs are the packages where a context.Context is the cancellation
-// spine: the HTTP request path and the pipeline's worker fan-out. Dropping
-// the in-scope context there detaches work from request deadlines and
-// shutdown — the serving-layer bug class where a cancelled client keeps a
-// build running.
-var ctxPkgs = []string{
-	"internal/serve",
-	"internal/pipeline",
-}
-
 // CtxFlow flags two ways of dropping an in-scope context.Context in
 // internal/serve and internal/pipeline:
 //
@@ -31,13 +21,24 @@ var ctxPkgs = []string{
 // the process root (main, tests) is out of scope by package selection.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
-	Doc: "flags context.Background()/TODO() that discard an in-scope context, and fresh root " +
-		"contexts minted at ctx-accepting call sites, in internal/{serve,pipeline}",
+	Doc: "flags context.Background()/TODO() that discard an in-scope context, " +
+		"and fresh root contexts minted at ctx-accepting call sites",
+	// The packages where a context.Context is the cancellation spine: the
+	// HTTP request path, the pipeline's worker fan-out, and the load
+	// harness's duration-bounded request loops. Dropping the in-scope
+	// context there detaches work from request deadlines and shutdown —
+	// the serving-layer bug class where a cancelled client keeps a build
+	// running.
+	Scope: []string{
+		"internal/serve",
+		"internal/pipeline",
+		"internal/loadgen",
+	},
 	Run: runCtxFlow,
 }
 
 func runCtxFlow(pass *Pass) error {
-	if !pass.PathHasSuffix(ctxPkgs...) {
+	if !pass.InScope() {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -6,20 +6,6 @@ import (
 	"go/types"
 )
 
-// concurrentPkgs are the packages whose goroutines must be tethered: the
-// pipeline's fan-out stages and the serving layer. A goroutine with no
-// WaitGroup, channel, or context connection to its parent can neither be
-// awaited nor cancelled — it leaks on error paths and outlives request
-// deadlines, the failure mode the paper's systemic-fault taxonomy files
-// under untracked asynchronous work.
-var goroPkgs = []string{
-	"internal/pipeline",
-	"internal/parse",
-	"internal/nlp",
-	"internal/ocr",
-	"internal/serve",
-}
-
 // GoroLeak flags `go` statements in concurrent packages whose spawned work
 // has no visible tether to the parent: no sync.WaitGroup call, no channel
 // operation, and no context.Context reaching the goroutine. The accepted
@@ -28,13 +14,29 @@ var goroPkgs = []string{
 // parent drains, or a context the goroutine selects on.
 var GoroLeak = &Analyzer{
 	Name: "goroleak",
-	Doc: "flags untethered `go` statements (no WaitGroup/channel/context link to the parent) " +
-		"in internal/{pipeline,parse,nlp,ocr,serve}",
+	Doc: "flags untethered `go` statements (no WaitGroup/channel/context " +
+		"link to the parent) in concurrent packages",
+	// The packages whose goroutines must be tethered: the pipeline's
+	// fan-out stages, the serving layer, the load harness's open-loop
+	// arrival generators, and snapshot2's background verification. A
+	// goroutine with no WaitGroup, channel, or context connection to its
+	// parent can neither be awaited nor cancelled — it leaks on error
+	// paths and outlives request deadlines, the failure mode the paper's
+	// systemic-fault taxonomy files under untracked asynchronous work.
+	Scope: []string{
+		"internal/pipeline",
+		"internal/parse",
+		"internal/nlp",
+		"internal/ocr",
+		"internal/serve",
+		"internal/loadgen",
+		"internal/snapshot2",
+	},
 	Run: runGoroLeak,
 }
 
 func runGoroLeak(pass *Pass) error {
-	if !pass.PathHasSuffix(goroPkgs...) {
+	if !pass.InScope() {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // An Analyzer describes one invariant check. It is stateless: Run is invoked
@@ -45,6 +46,13 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant the analyzer
 	// guards, shown by `avlint -list`.
 	Doc string
+	// Scope lists the package path suffixes (as understood by
+	// Pass.PathHasSuffix) the analyzer applies to. Empty means every
+	// package. Scoped analyzers gate on Pass.InScope; the scope meta-test
+	// in scope_test.go fails when a package under internal/ is absent from
+	// a non-empty scope without a recorded exemption, so scope lists can
+	// no longer silently drift as packages are added.
+	Scope []string
 	// Run inspects one package and reports violations through the pass.
 	Run func(*Pass) error
 }
@@ -65,7 +73,14 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's facts for Files.
 	Info *types.Info
+	// Funcs indexes the source of every function the loader type-checked —
+	// this package's and its in-module dependencies' — for the
+	// interprocedural analyzers. Nil when the package was constructed
+	// without the loader; FuncIndex methods are nil-safe and the analyzers
+	// then fall back to their conservative unknown-callee behavior.
+	Funcs *FuncIndex
 
+	pkg   *Package
 	diags *[]Diagnostic
 }
 
@@ -101,6 +116,30 @@ func (p *Pass) PathHasSuffix(suffixes ...string) bool {
 	return false
 }
 
+// InScope reports whether the package falls under the analyzer's Scope. An
+// empty scope means the analyzer applies everywhere.
+func (p *Pass) InScope() bool {
+	if len(p.Analyzer.Scope) == 0 {
+		return true
+	}
+	return p.PathHasSuffix(p.Analyzer.Scope...)
+}
+
+// summaries returns the package's interprocedural summary cache, creating it
+// on first use. Analyzers of one package run sequentially on one goroutine
+// (runPackage), so the lazy init needs no lock; distinct packages each carry
+// their own cache, trading a little duplicate summarization of shared
+// callees for zero cross-package synchronization.
+func (p *Pass) summaries() *summaries {
+	if p.pkg == nil {
+		return nil
+	}
+	if p.pkg.sums == nil {
+		p.pkg.sums = newSummaries(p.Funcs)
+	}
+	return p.pkg.sums
+}
+
 // A Diagnostic is one reported violation, with its position already
 // resolved.
 type Diagnostic struct {
@@ -116,6 +155,12 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// Timings accumulates, per analyzer name, the total wall time its Run spent
+// across every package. Under parallel scheduling the per-analyzer sums can
+// exceed elapsed wall clock (packages overlap); they are still the right
+// trajectory metric because each analyzer's share is scheduling-independent.
+type Timings map[string]time.Duration
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by file, line, column, and analyzer name — a
 // deterministic order regardless of analyzer scheduling. Packages are
@@ -125,10 +170,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 }
 
 // RunParallel is Run with an explicit worker count; workers <= 0 selects
-// GOMAXPROCS. Scheduling cannot affect the result: per-package results are
-// collected by index (the first failing package in input order wins as the
-// returned error) and the final sort fixes the diagnostic order.
+// GOMAXPROCS.
 func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(pkgs, analyzers, workers)
+	return diags, err
+}
+
+// RunTimed is RunParallel returning per-analyzer cumulative wall times
+// alongside the diagnostics. Scheduling cannot affect the diagnostics:
+// per-package results are collected by index (the first failing package in
+// input order wins as the returned error) and the final sort fixes the
+// diagnostic order. Timings are summed over packages, so only their
+// magnitude — not the result — varies with machine load.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnostic, Timings, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -141,6 +195,7 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnos
 
 	type pkgResult struct {
 		diags []Diagnostic
+		times Timings
 		err   error
 	}
 	results := make([]pkgResult, len(pkgs))
@@ -151,8 +206,8 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnos
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				diags, err := runPackage(pkgs[i], analyzers)
-				results[i] = pkgResult{diags, err}
+				diags, times, err := runPackage(pkgs[i], analyzers)
+				results[i] = pkgResult{diags, times, err}
 			}
 		}()
 	}
@@ -163,11 +218,15 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnos
 	wg.Wait()
 
 	var diags []Diagnostic
+	times := Timings{}
 	for _, r := range results {
 		if r.err != nil {
-			return nil, r.err
+			return nil, nil, r.err
 		}
 		diags = append(diags, r.diags...)
+		for name, d := range r.times {
+			times[name] += d
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -182,14 +241,15 @@ func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnos
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, times, nil
 }
 
 // runPackage applies the analyzers to one package and filters the
 // diagnostics through its //lint:allow directives.
-func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, Timings, error) {
 	allows := collectAllows(pkg)
 	var pkgDiags []Diagnostic
+	times := Timings{}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -198,10 +258,15 @@ func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Funcs:    pkg.Funcs,
+			pkg:      pkg,
 			diags:    &pkgDiags,
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		start := time.Now()
+		err := a.Run(pass)
+		times[a.Name] += time.Since(start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
 	}
 	var out []Diagnostic
@@ -210,7 +275,7 @@ func runPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			out = append(out, d)
 		}
 	}
-	return out, nil
+	return out, times, nil
 }
 
 // allowKey identifies one (file, line, analyzer) suppression.
@@ -253,12 +318,14 @@ func (s allowSet) allowed(d Diagnostic) bool {
 }
 
 // All returns the full analyzer suite in stable order: the generation-1
-// AST-level analyzers followed by the generation-2 flow-sensitive ones
-// built on internal/lint/cfg.
+// AST-level analyzers, the generation-2 flow-sensitive ones built on
+// internal/lint/cfg, and the generation-3 interprocedural ones built on the
+// module-local call graph and function summaries.
 func All() []*Analyzer {
 	return []*Analyzer{
 		MapIter, ErrSubstr, NonDeterm, ExhaustiveCategory,
 		LockCheck, GoroLeak, CtxFlow, HTTPResp,
+		Resleak, TaintFlow, ViewLife,
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 // resolvable through ByName.
 func TestAllAnalyzers(t *testing.T) {
 	all := lint.All()
-	if len(all) < 8 {
-		t.Fatalf("suite has %d analyzers, want at least 8", len(all))
+	if len(all) < 11 {
+		t.Fatalf("suite has %d analyzers, want at least 11", len(all))
 	}
 	seen := map[string]bool{}
 	var names []string
@@ -29,6 +29,7 @@ func TestAllAnalyzers(t *testing.T) {
 	for _, want := range []string{
 		"mapiter", "errsubstr", "nondeterm", "exhaustive-category",
 		"lockcheck", "goroleak", "ctxflow", "httpresp",
+		"resleak", "taintflow", "viewlife",
 	} {
 		if !seen[want] {
 			t.Errorf("suite %v is missing %q", names, want)

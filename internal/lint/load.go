@@ -44,6 +44,72 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Funcs indexes every function declaration the loader type-checked from
+	// source — this package's and its in-module dependencies' — for the
+	// interprocedural (generation-3) analyzers. Shared by all packages of
+	// one Load call.
+	Funcs *FuncIndex
+
+	// sums lazily caches this package's interprocedural summaries. The
+	// analyzers of one package run sequentially (runPackage), so no lock.
+	sums *summaries
+}
+
+// FuncSource is one function declaration with the typing context it was
+// checked under.
+type FuncSource struct {
+	// Decl is the declaration; Decl.Body is non-nil (bodyless declarations
+	// are not indexed).
+	Decl *ast.FuncDecl
+	// Info holds the type-checker's facts for the declaring package.
+	Info *types.Info
+	// Path is the declaring package's import path.
+	Path string
+}
+
+// A FuncIndex maps function objects to their source declarations across
+// everything one loader type-checked from source. Functions that resolved
+// through compiled export data (the standard library) are absent — callers
+// treat a miss as an unknown callee and fall back to conservative
+// assumptions. Lookups are safe for concurrent use.
+type FuncIndex struct {
+	mu    sync.RWMutex
+	funcs map[*types.Func]FuncSource
+}
+
+func newFuncIndex() *FuncIndex {
+	return &FuncIndex{funcs: map[*types.Func]FuncSource{}}
+}
+
+// Source returns the declaration of fn, if the loader checked it from
+// source. Instantiated generics resolve through their origin.
+func (ix *FuncIndex) Source(fn *types.Func) (FuncSource, bool) {
+	if ix == nil || fn == nil {
+		return FuncSource{}, false
+	}
+	fn = fn.Origin()
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	src, ok := ix.funcs[fn]
+	return src, ok
+}
+
+// record indexes every FuncDecl with a body in files, resolving each
+// through info's Defs.
+func (ix *FuncIndex) record(path string, files []*ast.File, info *types.Info) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				ix.funcs[fn] = FuncSource{Decl: fd, Info: info, Path: path}
+			}
+		}
+	}
 }
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
@@ -116,6 +182,10 @@ type loader struct {
 	// map.
 	gcMu sync.Mutex
 	gc   types.Importer
+
+	// funcs indexes every source-checked function declaration (targets and
+	// in-module dependencies) for the interprocedural analyzers.
+	funcs *FuncIndex
 }
 
 func newLoader(fixtureRoot string) (*loader, error) {
@@ -129,6 +199,7 @@ func newLoader(fixtureRoot string) (*loader, error) {
 		listed:      map[string]listedPkg{},
 		exports:     exports,
 		flights:     map[string]*importFlight{},
+		funcs:       newFuncIndex(),
 	}
 	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
 		e, ok := l.exports[path]
@@ -198,18 +269,33 @@ func (l *loader) checkDir(path, dir string) (*types.Package, error) {
 }
 
 // checkSource type-checks files as the dependency package path (memoization
-// happens at the flight layer in Import).
+// happens at the flight layer in Import). Dependencies keep full types.Info
+// and land in the function index: the interprocedural analyzers summarize
+// callee bodies in any in-module package, not just the analysis targets.
 func (l *loader) checkSource(path string, files []string) (*types.Package, error) {
 	asts, err := l.parse(files)
 	if err != nil {
 		return nil, err
 	}
+	info := newInfo()
 	conf := types.Config{Importer: l}
-	pkg, err := conf.Check(path, l.fset, asts, nil)
+	pkg, err := conf.Check(path, l.fset, asts, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking dependency %s: %w", path, err)
 	}
+	l.funcs.record(path, asts, info)
 	return pkg, nil
+}
+
+// newInfo allocates the types.Info map set the analyzers and summaries
+// consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
 }
 
 func (l *loader) parse(files []string) ([]*ast.File, error) {
@@ -231,17 +317,13 @@ func (l *loader) check(path, dir string, files []string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-	}
+	info := newInfo()
 	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(path, l.fset, asts, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
+	l.funcs.record(path, asts, info)
 	return &Package{
 		Path:  path,
 		Dir:   dir,
@@ -249,6 +331,7 @@ func (l *loader) check(path, dir string, files []string) (*Package, error) {
 		Files: asts,
 		Types: tpkg,
 		Info:  info,
+		Funcs: l.funcs,
 	}, nil
 }
 

@@ -5,20 +5,6 @@ import (
 	"go/types"
 )
 
-// detPkgs are the determinism-critical packages: everything whose output
-// feeds a byte-identity invariant (consolidated DB ordering, snapshot
-// encoding, report rendering, frame materialization, query results, stats
-// summaries).
-var detPkgs = []string{
-	"internal/core",
-	"internal/snapshot",
-	"internal/snapshot2",
-	"internal/report",
-	"internal/frame",
-	"internal/query",
-	"internal/stats",
-}
-
 // writeFuncs are callee names that make map-iteration order observable:
 // stream writes, prints, and hash feeds.
 var writeFuncs = map[string]bool{
@@ -42,13 +28,29 @@ var writeFuncs = map[string]bool{
 // flagged.
 var MapIter = &Analyzer{
 	Name: "mapiter",
-	Doc: "flags order-sensitive `for range` over maps in determinism-critical packages " +
-		"(internal/{core,snapshot,snapshot2,report,frame,query,stats}); iterate sorted keys instead",
+	Doc: "flags order-sensitive `for range` over maps in determinism-critical packages; " +
+		"iterate sorted keys instead",
+	// Everything whose output feeds a byte-identity or stable-wire
+	// invariant: consolidated DB ordering, snapshot encoding, report
+	// rendering, frame materialization, query results, stats summaries,
+	// the serving layer's rendered responses and metrics text, and the
+	// load harness's deterministic query mixes.
+	Scope: []string{
+		"internal/core",
+		"internal/snapshot",
+		"internal/snapshot2",
+		"internal/report",
+		"internal/frame",
+		"internal/query",
+		"internal/stats",
+		"internal/serve",
+		"internal/loadgen",
+	},
 	Run: runMapIter,
 }
 
 func runMapIter(pass *Pass) error {
-	if !pass.PathHasSuffix(detPkgs...) {
+	if !pass.InScope() {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -2,19 +2,6 @@ package lint
 
 import "go/ast"
 
-// stagePkgs are the pipeline-stage packages where all randomness must flow
-// from the study seed and all timing through injected clocks (the
-// pipeline's StageTimings): a stray wall-clock read or global-source draw
-// makes two runs of the same corpus diverge.
-var stagePkgs = []string{
-	"internal/parse",
-	"internal/nlp",
-	"internal/core",
-	"internal/synth",
-	"internal/snapshot",
-	"internal/snapshot2",
-}
-
 // globalRandFuncs are the math/rand package-level functions that draw from
 // the process-global (unseeded or ambiently seeded) source. Constructors
 // (New, NewSource, NewZipf) are allowed: they are how seed-derived
@@ -38,13 +25,27 @@ var globalRandFuncs = map[string]bool{
 // elapsed time in StageTimings, outside the stages).
 var NonDeterm = &Analyzer{
 	Name: "nondeterm",
-	Doc: "flags time.Now() and global math/rand draws in pipeline-stage packages " +
-		"(internal/{parse,nlp,core,synth,snapshot,snapshot2}); derive randomness from the study seed, inject clocks",
+	Doc: "flags time.Now() and global math/rand draws in pipeline-stage packages; " +
+		"derive randomness from the study seed, inject clocks",
+	// The pipeline-stage packages where all randomness must flow from the
+	// study seed and all timing through injected clocks (the pipeline's
+	// StageTimings): a stray wall-clock read or global-source draw makes
+	// two runs of the same corpus diverge. Timing-centric packages
+	// (serve, loadgen) are exempted in scope.go — wall-clock reads are
+	// their feature, not a hazard.
+	Scope: []string{
+		"internal/parse",
+		"internal/nlp",
+		"internal/core",
+		"internal/synth",
+		"internal/snapshot",
+		"internal/snapshot2",
+	},
 	Run: runNonDeterm,
 }
 
 func runNonDeterm(pass *Pass) error {
-	if !pass.PathHasSuffix(stagePkgs...) {
+	if !pass.InScope() {
 		return nil
 	}
 	for _, f := range pass.Files {

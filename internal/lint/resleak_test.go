@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestResleak drives resleak over resource fixtures: unclosed response
+// bodies, files, snapshot views, and pool borrows are flagged (including
+// the interprocedural acquirer-wrapper shape); deferred closes, err-nil
+// contracts, ownership returns, and helper-closes summaries are accepted.
+func TestResleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.Resleak, "rleak/a")
+}

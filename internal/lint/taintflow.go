@@ -1,0 +1,532 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"avfda/internal/lint/cfg"
+)
+
+// TaintFlow flags request-derived values (query parameters, path values,
+// form fields, URL components) reaching a build/query sink — query.Engine
+// methods, serve.Cache.Get, or a module helper whose summary forwards an
+// operand into one — without passing a recognized validator first. This
+// machine-enforces the PR 8 serving fix: cheap parameter validation must
+// happen before the expensive study build, so a garbage ?by= can never
+// cost a full pipeline run.
+//
+// Recognized sanitizers: the strconv parse family (a parsed int is not the
+// raw string), comma-ok map lookups (`render, ok := renderers[id]` trusts
+// the table, and the ok-true branch validates the key), and module
+// validators — single-result bool functions whose body membership-tests an
+// operand against a map (query.IsGroupColumn) — applied on their true
+// branch. Values wrapped into composite literals (typed query.Filter
+// carriers) are considered structured, not raw.
+//
+// Known false negatives: taint laundered through unknown (non-module,
+// non-string-family) calls, interface dispatch, and reflection.
+var TaintFlow = &Analyzer{
+	Name: "taintflow",
+	Doc: "flags request query/path/form values reaching query.Engine or Cache " +
+		"sinks without a recognized validator (strconv parse, comma-ok map " +
+		"lookup, or a bool map-membership helper) on the path",
+	Run: runTaintFlow,
+}
+
+// taintMark is a bitset: bit 31 is request taint (the analyzer's bit);
+// bits 0..30 attribute flow to callee operands during summary computation.
+type taintMark uint32
+
+const reqTaint taintMark = 1 << 31
+
+type taintState map[types.Object]taintMark
+
+// urlTaintFields are *url.URL fields that carry raw request bytes.
+var urlTaintFields = map[string]bool{
+	"Path": true, "RawPath": true, "RawQuery": true, "Fragment": true,
+	"RawFragment": true, "Opaque": true, "Host": true,
+}
+
+// taintPropPkgs are stdlib packages whose functions transform strings and
+// bytes without changing their trust level: taint flows through them.
+var taintPropPkgs = map[string]bool{
+	"strings": true, "bytes": true, "fmt": true, "path": true,
+	"path/filepath": true, "net/url": true, "unicode/utf8": true,
+}
+
+type taintEngine struct {
+	info *types.Info
+	sums *summaries
+	// okValidates pairs a comma-ok boolean with the objects its true
+	// branch validates (the roots of the map-lookup keys).
+	okValidates map[types.Object][]types.Object
+}
+
+func isURLValues(t types.Type) bool {
+	return namedSuffixIs(t, "net/url", "Values")
+}
+
+// isTaintSource reports whether calling fn yields raw request-derived
+// data: url.Values.Get and the *http.Request param accessors.
+func isTaintSource(fn *types.Func) bool {
+	return funcIs(fn, "net/url", "Values", "Get", "Encode") ||
+		funcIs(fn, "net/http", "Request", "FormValue", "PostFormValue", "PathValue", "Referer", "UserAgent")
+}
+
+// exprTaint computes the taint of an expression under the current state.
+func (t *taintEngine) exprTaint(e ast.Expr, s taintState) taintMark {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return s[t.info.ObjectOf(e)]
+	case *ast.CallExpr:
+		return t.callTaint(e, s)
+	case *ast.SelectorExpr:
+		if namedSuffixIs(t.info.TypeOf(e.X), "net/url", "URL") && urlTaintFields[e.Sel.Name] {
+			return reqTaint
+		}
+		return t.exprTaint(e.X, s)
+	case *ast.IndexExpr:
+		if isURLValues(t.info.TypeOf(e.X)) {
+			return reqTaint
+		}
+		return t.exprTaint(e.X, s)
+	case *ast.SliceExpr:
+		return t.exprTaint(e.X, s)
+	case *ast.BinaryExpr:
+		return t.exprTaint(e.X, s) | t.exprTaint(e.Y, s)
+	case *ast.StarExpr:
+		return t.exprTaint(e.X, s)
+	case *ast.UnaryExpr:
+		return t.exprTaint(e.X, s)
+	case *ast.TypeAssertExpr:
+		return t.exprTaint(e.X, s)
+	}
+	// Literals, composite literals (typed carriers), func literals.
+	return 0
+}
+
+func (t *taintEngine) callTaint(call *ast.CallExpr, s taintState) taintMark {
+	// Type conversions (string(b), []byte(s), MyString(x)) preserve the
+	// bytes and the taint.
+	if len(call.Args) == 1 {
+		if tv, ok := t.info.Types[call.Fun]; ok && tv.IsType() {
+			return t.exprTaint(call.Args[0], s)
+		}
+	}
+	fn, args := calleeFunc(t.info, call)
+	if fn == nil {
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := t.info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				var m taintMark
+				for _, a := range call.Args {
+					m |= t.exprTaint(a, s)
+				}
+				return m
+			}
+		}
+		return 0
+	}
+	if isTaintSource(fn) {
+		return reqTaint
+	}
+	// Parsing is sanitizing: the structured result is not the raw string.
+	if funcIs(fn, "strconv", "", "Atoi", "ParseInt", "ParseUint", "ParseFloat", "ParseBool") {
+		return 0
+	}
+	if fn.Pkg() != nil && taintPropPkgs[fn.Pkg().Path()] {
+		var m taintMark
+		for _, a := range args {
+			m |= t.exprTaint(a, s)
+		}
+		return m
+	}
+	if sum := t.sums.taint(fn); sum != nil {
+		var m taintMark
+		for i, p := range sum.Prop {
+			if p && i < len(args) {
+				m |= t.exprTaint(args[i], s)
+			}
+		}
+		return m
+	}
+	// Unknown callee: assume it launders (documented false negative).
+	return 0
+}
+
+// set records taint into an lvalue: plain identifiers get the mark,
+// container stores contaminate the container's root.
+func (t *taintEngine) set(lv ast.Expr, m taintMark, s taintState) {
+	if id, ok := unparen(lv).(*ast.Ident); ok {
+		obj := t.info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if m == 0 {
+			delete(s, obj)
+		} else {
+			s[obj] = m
+		}
+		return
+	}
+	if m != 0 {
+		if o := rootObj(t.info, lv); o != nil {
+			s[o] |= m
+		}
+	}
+}
+
+func (t *taintEngine) assign(lhs, rhs []ast.Expr, s taintState) {
+	if len(rhs) == 1 && len(lhs) == 2 {
+		// Comma-ok map lookup: the value comes from our table, not the
+		// request; trusted regardless of the key's taint.
+		if ix, ok := unparen(rhs[0]).(*ast.IndexExpr); ok {
+			if _, isMap := t.info.TypeOf(ix.X).Underlying().(*types.Map); isMap && !isURLValues(t.info.TypeOf(ix.X)) {
+				t.set(lhs[0], 0, s)
+				t.set(lhs[1], 0, s)
+				return
+			}
+		}
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		m := t.exprTaint(rhs[0], s)
+		for _, l := range lhs {
+			t.set(l, m, s)
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i < len(rhs) {
+			t.set(l, t.exprTaint(rhs[i], s), s)
+		}
+	}
+}
+
+func (t *taintEngine) transfer(n ast.Node, s taintState) taintState {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		t.assign(n.Lhs, n.Rhs, s)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, name := range vs.Names {
+						lhs[i] = name
+					}
+					t.assign(lhs, vs.Values, s)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		m := t.exprTaint(n.X, s)
+		for _, kv := range []ast.Expr{n.Key, n.Value} {
+			if kv != nil {
+				t.set(kv, m, s)
+			}
+		}
+	}
+	return s
+}
+
+// refine applies branch-edge knowledge: a true comma-ok bool or a true
+// module-validator call clears the validated objects' taint.
+func (t *taintEngine) refine(cond ast.Expr, taken bool, s taintState) {
+	cond = unparen(cond)
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			t.refine(c.X, !taken, s)
+		}
+	case *ast.BinaryExpr:
+		// Both operands of a taken && (or a fallen-through ||) hold.
+		if (c.Op == token.LAND && taken) || (c.Op == token.LOR && !taken) {
+			t.refine(c.X, taken, s)
+			t.refine(c.Y, taken, s)
+		}
+	case *ast.Ident:
+		if !taken {
+			return
+		}
+		for _, v := range t.okValidates[t.info.ObjectOf(c)] {
+			delete(s, v)
+		}
+	case *ast.CallExpr:
+		if !taken {
+			return
+		}
+		fn, args := calleeFunc(t.info, c)
+		if sum := t.sums.taint(fn); sum != nil {
+			for i, val := range sum.Validates {
+				if val && i < len(args) {
+					if o := rootObj(t.info, args[i]); o != nil {
+						delete(s, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectOk records comma-ok map-lookup pairings for branch refinement.
+func (t *taintEngine) collectOk(body *ast.BlockStmt) {
+	t.okValidates = map[types.Object][]types.Object{}
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+			return true
+		}
+		ix, ok := unparen(as.Rhs[0]).(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if _, isMap := t.info.TypeOf(ix.X).Underlying().(*types.Map); !isMap || isURLValues(t.info.TypeOf(ix.X)) {
+			return true
+		}
+		okID, ok := unparen(as.Lhs[1]).(*ast.Ident)
+		if !ok || okID.Name == "_" {
+			return true
+		}
+		okObj := t.info.ObjectOf(okID)
+		keyRoot := rootObj(t.info, ix.Index)
+		if okObj != nil && keyRoot != nil {
+			t.okValidates[okObj] = append(t.okValidates[okObj], keyRoot)
+		}
+		return true
+	})
+}
+
+// sinkOperands returns the callee's operand indices that feed a
+// build/query sink, or nil for non-sinks.
+func (t *taintEngine) sinkOperands(fn *types.Func, nops int) []int {
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethodOn := func(pkgSuffix, recv string) bool {
+		return sig != nil && sig.Recv() != nil && namedSuffixIs(sig.Recv().Type(), pkgSuffix, recv) &&
+			fn.Pkg() != nil && pathSuffixMatch(fn.Pkg().Path(), pkgSuffix)
+	}
+	if isMethodOn("internal/query", "Engine") || (isMethodOn("internal/serve", "Cache") && fn.Name() == "Get") {
+		// Every argument past the receiver.
+		var out []int
+		for i := 1; i < nops; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	if sum := t.sums.taint(fn); sum != nil {
+		var out []int
+		for i, sk := range sum.Sinks {
+			if sk {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exemptSinkArg reports argument types that are structured carriers, not
+// raw request strings: composed query.Filter values and contexts.
+func (t *taintEngine) exemptSinkArg(arg ast.Expr) bool {
+	typ := t.info.TypeOf(arg)
+	return namedSuffixIs(typ, "internal/query", "Filter") || isContextType(typ)
+}
+
+func (t *taintEngine) flow() cfg.Flow[taintState] {
+	clone := func(s taintState) taintState {
+		out := make(taintState, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	}
+	return cfg.Flow[taintState]{
+		Entry:    taintState{},
+		Transfer: t.transfer,
+		Clone:    clone,
+		Join: func(a, b taintState) taintState {
+			out := clone(a)
+			for k, v := range b {
+				out[k] |= v
+			}
+			return out
+		},
+		Equal: func(a, b taintState) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if b[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+		Branch: func(cond ast.Expr, taken bool, s taintState) taintState {
+			t.refine(cond, taken, s)
+			return s
+		},
+	}
+}
+
+// replay walks every block's nodes with the solved entry states, invoking
+// check on each node with the state in force just before it executes.
+func (t *taintEngine) replay(body *ast.BlockStmt, check func(n ast.Node, s taintState)) {
+	g := cfg.New(body)
+	f := t.flow()
+	ins := cfg.Forward(g, f)
+	for _, blk := range g.Blocks {
+		s, ok := ins[blk]
+		if !ok {
+			continue
+		}
+		s = f.Clone(s)
+		for _, n := range blk.Nodes {
+			check(n, s)
+			s = t.transfer(n, s)
+		}
+	}
+}
+
+func runTaintFlow(pass *Pass) error {
+	if !pass.InScope() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		funcBodies(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+			t := &taintEngine{info: pass.Info, sums: pass.summaries()}
+			t.collectOk(body)
+			reported := map[token.Pos]bool{}
+			t.replay(body, func(n ast.Node, s taintState) {
+				scanShallow(n, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn, args := calleeFunc(t.info, call)
+					for _, i := range t.sinkOperands(fn, len(args)) {
+						if i >= len(args) || t.exemptSinkArg(args[i]) {
+							continue
+						}
+						if t.exprTaint(args[i], s)&reqTaint == 0 {
+							continue
+						}
+						if reported[args[i].Pos()] {
+							continue
+						}
+						reported[args[i].Pos()] = true
+						pass.Reportf(args[i].Pos(), "request-derived value reaches %s without validation; check it (comma-ok lookup, strconv parse, or a bool validator) before the expensive build/query", fn.Name())
+					}
+					return true
+				})
+			})
+		})
+	}
+	return nil
+}
+
+// A taintSummary describes how taint moves through one module function.
+type taintSummary struct {
+	// Prop[i] reports that operand i's taint flows into a return value.
+	Prop []bool
+	// Sinks[i] reports that operand i reaches a build/query sink inside.
+	Sinks []bool
+	// Validates[i] reports the function is a single-result bool
+	// membership test of operand i against a map — its true branch proves
+	// the operand a member of a fixed set.
+	Validates []bool
+}
+
+func computeTaintSummary(sums *summaries, fn *types.Func, src FuncSource) *taintSummary {
+	ops := operandVars(fn)
+	sum := &taintSummary{
+		Prop:      make([]bool, len(ops)),
+		Sinks:     make([]bool, len(ops)),
+		Validates: make([]bool, len(ops)),
+	}
+	t := &taintEngine{info: src.Info, sums: sums}
+	t.collectOk(src.Decl.Body)
+
+	entry := taintState{}
+	for i, v := range ops {
+		if i >= 31 {
+			break
+		}
+		entry[v] = 1 << uint(i)
+	}
+	markBits := func(m taintMark, dst []bool) {
+		for i := range dst {
+			if i < 31 && m&(1<<uint(i)) != 0 {
+				dst[i] = true
+			}
+		}
+	}
+	g := cfg.New(src.Decl.Body)
+	f := t.flow()
+	f.Entry = entry
+	ins := cfg.Forward(g, f)
+	for _, blk := range g.Blocks {
+		s, ok := ins[blk]
+		if !ok {
+			continue
+		}
+		s = f.Clone(s)
+		for _, n := range blk.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				for _, r := range ret.Results {
+					markBits(t.exprTaint(r, s), sum.Prop)
+				}
+			}
+			scanShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				cfn, args := calleeFunc(t.info, call)
+				for _, i := range t.sinkOperands(cfn, len(args)) {
+					if i < len(args) && !t.exemptSinkArg(args[i]) {
+						markBits(t.exprTaint(args[i], s), sum.Sinks)
+					}
+				}
+				return true
+			})
+			s = t.transfer(n, s)
+		}
+	}
+
+	// Validator shape: single bool result, body membership-testing an
+	// operand against a map.
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Results().Len() == 1 && isBoolType(sig.Results().At(0).Type()) {
+		opIdx := map[types.Object]int{}
+		for i, v := range ops {
+			opIdx[v] = i
+		}
+		inspectSkipFuncLit(src.Decl.Body, func(n ast.Node) bool {
+			ix, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			if _, isMap := src.Info.TypeOf(ix.X).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if o := rootObj(src.Info, ix.Index); o != nil {
+				if i, ok := opIdx[o]; ok {
+					sum.Validates[i] = true
+				}
+			}
+			return true
+		})
+	}
+	return sum
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestTaintFlow drives taintflow over request-parameter fixtures: raw
+// query/form/URL values reaching Engine sinks are flagged (including
+// through module helpers, via Prop and Sinks summaries); comma-ok
+// lookups, strconv parses, and the IsGroupColumn validator summary
+// sanitize on their true branches.
+func TestTaintFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.TaintFlow, "taint/a")
+}

@@ -1,0 +1,34 @@
+// Stub of avfda/internal/query for taintflow fixtures: the analyzer
+// treats Engine methods as sinks, Filter as a structured carrier, and
+// IsGroupColumn as a bool map-membership validator, all matched by
+// package path and shape against this fixture-shadowed version.
+package query
+
+// Filter is the structured query carrier; composed Filter values are
+// exempt sink arguments.
+type Filter struct {
+	Manufacturer string
+	Tag          string
+}
+
+// GroupCount is one group-by bucket.
+type GroupCount struct {
+	Key string
+	N   int
+}
+
+// Engine answers queries; its methods are taint sinks.
+type Engine struct{ n int }
+
+// Count is a sink taking only the exempt Filter carrier.
+func (e *Engine) Count(f Filter) (int, error) { return e.n, nil }
+
+// GroupCount is the sink with a raw string operand (the ?by= column).
+func (e *Engine) GroupCount(f Filter, by string) ([]GroupCount, error) { return nil, nil }
+
+// groupColumns is the fixed set of legal group-by columns.
+var groupColumns = map[string]bool{"manufacturer": true, "tag": true}
+
+// IsGroupColumn is the validator shape: single bool result whose body
+// membership-tests the operand against a map.
+func IsGroupColumn(by string) bool { return groupColumns[by] }

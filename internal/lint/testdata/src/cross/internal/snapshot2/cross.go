@@ -1,0 +1,26 @@
+// Package snapshot2 (fixture; the path suffix puts it in both goroleak's
+// and nondeterm's scope) puts a goroleak and a nondeterm violation on the
+// same source line so the suppression test can pin that a //lint:allow
+// for one analyzer does not hide the other's diagnostic on that line.
+package snapshot2
+
+import "time"
+
+func record(t time.Time) {}
+
+// goroAllowed: only goroleak is suppressed; nondeterm must survive.
+func goroAllowed() {
+	//lint:allow goroleak fixture: suppression must stay per-analyzer
+	go record(time.Now())
+}
+
+// nondetermAllowed: only nondeterm is suppressed; goroleak must survive.
+func nondetermAllowed() {
+	//lint:allow nondeterm fixture: suppression must stay per-analyzer
+	go record(time.Now())
+}
+
+// bothFlagged has no allow: both analyzers fire on the one line.
+func bothFlagged() {
+	go record(time.Now())
+}

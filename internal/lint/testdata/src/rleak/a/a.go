@@ -1,0 +1,164 @@
+// Package a exercises resleak: unclosed response bodies, files, snapshot
+// views, and pool borrows are flagged; deferred closes, error-edge nil
+// contracts, ownership returns, and interprocedural helper-closes and
+// acquirer-wrapper shapes are modeled.
+package a
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+
+	"avfda/internal/snapshot2"
+)
+
+// forgotClose reads the body and never closes it; io.ReadAll(resp.Body) is
+// a projection, not an ownership transfer.
+func forgotClose(u string) string {
+	resp, err := http.Get(u) // want "response body acquired here is not closed/released on every path to return"
+	if err != nil {
+		return ""
+	}
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// deferredClose is the accepted idiom: the err-nil contract plus a
+// deferred close covering every remaining path.
+func deferredClose(u string) string {
+	resp, err := http.Get(u)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// branchLeak closes on the fallthrough path but leaks on the early return.
+func branchLeak(p string, skip bool) error {
+	f, err := os.Open(p) // want "file acquired here is not closed/released on every path to return"
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	f.Close()
+	return nil
+}
+
+// branchClosed closes on every path.
+func branchClosed(p string, skip bool) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	if skip {
+		f.Close()
+		return nil
+	}
+	f.Close()
+	return nil
+}
+
+// discarded drops the resource on the floor at the statement level.
+func discarded(p string) {
+	os.Open(p) // want "file acquired and immediately discarded; close it or assign it"
+}
+
+// blanked can never be closed.
+func blanked(u string) {
+	_, _ = http.Get(u) // want "response body assigned to the blank identifier can never be closed"
+}
+
+// returned hands ownership to the caller: never flagged.
+func returned(p string) (*os.File, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+var bufPool sync.Pool
+
+// poolLeak borrows a buffer and never puts it back.
+func poolLeak() {
+	b := bufPool.Get().(*bytes.Buffer) // want "pool borrow acquired here is not closed/released on every path to return"
+	b.Reset()
+}
+
+// poolReturned is the borrow/reset/put cycle the serving layer uses.
+func poolReturned() {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	defer bufPool.Put(b)
+}
+
+// viewLeak maps a snapshot and forgets it on the success path.
+func viewLeak(dir string) (int, error) {
+	v, err := snapshot2.OpenSeed(dir, 42) // want "snapshot view acquired here is not closed/released on every path to return"
+	if err != nil {
+		return 0, err
+	}
+	return v.NumRows(), nil
+}
+
+// viewClosed is the accepted shape.
+func viewClosed(dir string) (int, error) {
+	v, err := snapshot2.OpenSeed(dir, 42)
+	if err != nil {
+		return 0, err
+	}
+	defer v.Close()
+	return v.NumRows(), nil
+}
+
+// drain is the relayResponse idiom: the helper owns the close, so its
+// summary releases operand 0 on every path.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// helperCloses hands the body to a helper whose summary closes it.
+func helperCloses(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	return nil
+}
+
+// openStudy is an acquirer wrapper: its summary says the caller owns the
+// returned view.
+func openStudy(dir string) (*snapshot2.View, error) {
+	return snapshot2.OpenSeed(dir, 42)
+}
+
+// wrapperLeak leaks a resource only visible interprocedurally: without
+// openStudy's ReturnsResource summary nothing here looks like an
+// acquisition.
+func wrapperLeak(dir string) error {
+	v, err := openStudy(dir) // want "snapshot view acquired here is not closed/released on every path to return"
+	if err != nil {
+		return err
+	}
+	_ = v.NumRows()
+	return nil
+}
+
+// wrapperClosed is the same acquisition with the obligation met.
+func wrapperClosed(dir string) error {
+	v, err := openStudy(dir)
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	_ = v.NumRows()
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package a exercises taintflow: raw request parameters reaching
+// query.Engine sinks are flagged; comma-ok lookups, strconv parses, and
+// module bool validators (interprocedural, via summaries) sanitize; taint
+// propagates through the string family and module helpers.
+package a
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"avfda/internal/query"
+)
+
+// rawGroupBy passes the raw ?by= straight into the sink — the PR 8 bug.
+func rawGroupBy(e *query.Engine, r *http.Request) {
+	by := r.URL.Query().Get("by")
+	_, _ = e.GroupCount(query.Filter{}, by) // want "request-derived value reaches GroupCount without validation"
+}
+
+// filterOnly passes only the structured carrier: exempt.
+func filterOnly(e *query.Engine, r *http.Request) {
+	f := query.Filter{Manufacturer: r.URL.Query().Get("mfr")}
+	_, _ = e.Count(f)
+}
+
+// commaOk trusts the table, not the request: the ok-true branch validates.
+var renderers = map[string]string{"manufacturer": "mfr"}
+
+func commaOk(e *query.Engine, r *http.Request) {
+	by := r.FormValue("by")
+	if col, ok := renderers[by]; ok {
+		_, _ = e.GroupCount(query.Filter{}, col)
+		_, _ = e.GroupCount(query.Filter{}, by)
+	}
+}
+
+// commaOkMissed uses the raw value outside the validated branch.
+func commaOkMissed(e *query.Engine, r *http.Request) {
+	by := r.FormValue("by")
+	if _, ok := renderers[by]; !ok {
+		_, _ = e.GroupCount(query.Filter{}, by) // want "request-derived value reaches GroupCount without validation"
+	}
+}
+
+// parsed sanitizes by parsing: the structured int is not the raw string.
+func parsed(e *query.Engine, r *http.Request) {
+	year := r.URL.Query().Get("year")
+	y, err := strconv.Atoi(year)
+	if err != nil {
+		return
+	}
+	_, _ = e.GroupCount(query.Filter{}, strconv.Itoa(y))
+}
+
+// laundered shows taint surviving the string family.
+func laundered(e *query.Engine, r *http.Request) {
+	by := strings.ToLower(strings.TrimSpace(r.URL.Query().Get("by")))
+	_, _ = e.GroupCount(query.Filter{}, by) // want "request-derived value reaches GroupCount without validation"
+}
+
+// urlField reads raw request bytes off the parsed URL.
+func urlField(e *query.Engine, r *http.Request) {
+	p := r.URL.Path
+	_, _ = e.GroupCount(query.Filter{}, p) // want "request-derived value reaches GroupCount without validation"
+}
+
+// validated is the interprocedural fix shape: query.IsGroupColumn's
+// summary says its true branch proves operand 0 a member of a fixed set.
+func validated(e *query.Engine, r *http.Request) {
+	by := r.URL.Query().Get("by")
+	if !query.IsGroupColumn(by) {
+		return
+	}
+	_, _ = e.GroupCount(query.Filter{}, by)
+}
+
+// norm forwards its operand's taint to the result (Prop summary).
+func norm(s string) string { return strings.TrimSpace(s) }
+
+// throughHelper is only flaggable interprocedurally: the raw value passes
+// through a module helper whose summary propagates taint.
+func throughHelper(e *query.Engine, r *http.Request) {
+	by := norm(r.FormValue("by"))
+	_, _ = e.GroupCount(query.Filter{}, by) // want "request-derived value reaches GroupCount without validation"
+}
+
+// runQuery forwards its operand into a sink (Sinks summary).
+func runQuery(e *query.Engine, by string) {
+	_, _ = e.GroupCount(query.Filter{}, by)
+}
+
+// viaHelper sinks through a module helper: only the Sinks summary sees it.
+func viaHelper(e *query.Engine, r *http.Request) {
+	runQuery(e, r.FormValue("by")) // want "request-derived value reaches runQuery without validation"
+}

@@ -1,0 +1,107 @@
+// Package a exercises viewlife: mapped view bytes escaping to globals,
+// channels, goroutines, and caller-visible fields are flagged; copies,
+// returns, view-internal stores, and the interprocedural borrow/retain
+// summaries are modeled.
+package a
+
+import (
+	"slices"
+
+	"avfda/internal/snapshot2"
+)
+
+var (
+	cachedIDs []int
+	cachedSec []byte
+)
+
+func process(b []byte) {}
+
+// leakToGlobal stores a borrowed posting list past the view's lifetime.
+func leakToGlobal(v *snapshot2.View) {
+	ids := v.ManufacturerIDs("waymo")
+	cachedIDs = ids // want "mapped view bytes stored in a package-level variable"
+}
+
+// copied breaks the borrow before storing: accepted.
+func copied(v *snapshot2.View) {
+	ids := v.ManufacturerIDs("waymo")
+	cachedIDs = append([]int(nil), ids...)
+	cachedSec = slices.Clone(v.Payload())
+}
+
+// stringCopy: string(...) materializes; storing the string is fine.
+var cachedName string
+
+func stringCopy(v *snapshot2.View) {
+	cachedName = string(v.Payload())
+}
+
+// leakToChan sends mapped bytes to whoever outlives the view.
+func leakToChan(v *snapshot2.View, ch chan []byte) {
+	sec := v.Payload()
+	ch <- sec // want "mapped view bytes stored in a channel send"
+}
+
+// leakToGoroutine captures mapped bytes in a frame with its own lifetime.
+func leakToGoroutine(v *snapshot2.View) {
+	sec := v.Payload()
+	go process(sec) // want "mapped view bytes stored in a goroutine capture"
+}
+
+// Index is a caller-owned structure.
+type Index struct {
+	ids []int
+}
+
+// leakToField stores a borrow under a caller-visible root.
+func leakToField(v *snapshot2.View, idx *Index) {
+	idx.ids = v.ManufacturerIDs("cruise") // want "mapped view bytes stored in a caller-visible field"
+}
+
+// fieldCopied is the accepted version.
+func fieldCopied(v *snapshot2.View, idx *Index) {
+	idx.ids = slices.Clone(v.ManufacturerIDs("cruise"))
+}
+
+// storeIntoView parks a borrow inside the view itself: they die together.
+func storeIntoView(v *snapshot2.View) {
+	sec := v.Payload()
+	v.Scratch = append(v.Scratch, sec)
+}
+
+// viewSection returns the borrow: the caller inherits it through this
+// function's Borrows summary.
+func viewSection(v *snapshot2.View) []byte {
+	return v.Payload()
+}
+
+// materialized returns a copy, not a borrow.
+func materialized(v *snapshot2.View, i int) string {
+	return v.Manufacturer(i)
+}
+
+// stash retains its operand (Retains summary: the violation is pushed to
+// the call site).
+func stash(ids []int) {
+	cachedIDs = ids
+}
+
+// leakViaHelper is only flaggable interprocedurally: locally stash is
+// just a call with a slice argument.
+func leakViaHelper(v *snapshot2.View) {
+	ids := v.ManufacturerIDs("waymo")
+	stash(ids) // want "mapped view bytes stored in a retaining callee"
+}
+
+// stashCopy is the accepted call: the argument is already a copy.
+func stashCopy(v *snapshot2.View) {
+	stash(slices.Clone(v.ManufacturerIDs("waymo")))
+}
+
+// leakViaBorrowingHelper gets its borrow through viewSection's Borrows
+// summary, two frames from the accessor.
+func leakViaBorrowingHelper(v *snapshot2.View) {
+	sec := viewSection(v)
+	cachedSec = sec // want "mapped view bytes stored in a package-level variable"
+}

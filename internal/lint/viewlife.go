@@ -1,0 +1,484 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"avfda/internal/lint/cfg"
+)
+
+// ViewLife flags mapped snapshot2.View bytes escaping the view's release
+// scope — the SIGBUS-after-evict class: a []byte (or a container of them)
+// borrowed from a memory-mapped view and stored somewhere that outlives
+// the view (a package-level variable, a channel, a spawned goroutine, a
+// caller-visible field) dangles the moment the cache evicts and unmaps the
+// view. Until now only the churn test pinned this; the analyzer rejects it
+// at review time.
+//
+// Borrows are slice- or map-typed reads off a View (fields, sec-style
+// accessor methods) and module calls whose summary says the result aliases
+// a View operand's mapped bytes (parsePostings). Copies break the borrow:
+// string(...) conversions, append with ..., bytes/strings/slices.Clone,
+// and the copy builtin. Storing a borrow into the view's own fields is
+// fine — they die together. Returning a borrow is fine — the caller
+// inherits it through the callee's Borrows summary. Unknown callees are
+// assumed to copy (a documented false negative, never a false positive).
+var ViewLife = &Analyzer{
+	Name: "viewlife",
+	Doc: "flags mapped snapshot2.View bytes stored beyond the view's release " +
+		"scope (package-level vars, channels, goroutines, caller-visible " +
+		"fields) — the SIGBUS-after-evict class; copy before storing",
+	Run: runViewLife,
+}
+
+// borrowMark is a bitset like taintMark: bit 31 marks bytes borrowed from
+// a view in the current frame; bits 0..30 attribute borrows to operands
+// during summary computation.
+type borrowMark uint32
+
+const viewBorrow borrowMark = 1 << 31
+
+type borrowState map[types.Object]borrowMark
+
+type borrowEngine struct {
+	info *types.Info
+	sums *summaries
+	// params are the current function's parameters and receiver — the
+	// caller-visible roots a borrow must not be stored under (unless the
+	// root is itself a View).
+	params map[types.Object]bool
+	pkg    *types.Package
+}
+
+func isViewType(t types.Type) bool {
+	return namedSuffixIs(t, "internal/snapshot2", "View")
+}
+
+// aliasesBytes reports whether a value of type t can alias mapped memory:
+// slices and maps (whose values may hold slice headers). Strings are
+// excluded — every string(...) materialization copies — as are struct
+// pointers and interfaces (heap-built wrappers like query.Engine own
+// copies or manage the view's lifetime themselves).
+func aliasesBytes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// exprBorrow computes the borrow marks of an expression.
+func (b *borrowEngine) exprBorrow(e ast.Expr, s borrowState) borrowMark {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return s[b.info.ObjectOf(e)]
+	case *ast.SelectorExpr:
+		m := b.exprBorrow(e.X, s)
+		if isViewType(b.info.TypeOf(e.X)) && aliasesBytes(b.info.TypeOf(e)) {
+			m |= viewBorrow | s[rootObj(b.info, e.X)]
+		}
+		return m
+	case *ast.IndexExpr:
+		return b.exprBorrow(e.X, s)
+	case *ast.SliceExpr:
+		return b.exprBorrow(e.X, s)
+	case *ast.StarExpr:
+		return b.exprBorrow(e.X, s)
+	case *ast.UnaryExpr:
+		return b.exprBorrow(e.X, s)
+	case *ast.CallExpr:
+		return b.callBorrow(e, s)
+	case *ast.CompositeLit:
+		var m borrowMark
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			m |= b.exprBorrow(el, s)
+		}
+		return m
+	}
+	// Literals, binary string concatenation (copies).
+	return 0
+}
+
+func (b *borrowEngine) callBorrow(call *ast.CallExpr, s borrowState) borrowMark {
+	// Conversions: string(x) copies; slice-to-slice conversions alias.
+	if len(call.Args) == 1 {
+		if tv, ok := b.info.Types[call.Fun]; ok && tv.IsType() {
+			if bas, ok := tv.Type.Underlying().(*types.Basic); ok && bas.Info()&types.IsString != 0 {
+				return 0
+			}
+			return b.exprBorrow(call.Args[0], s)
+		}
+	}
+	fn, args := calleeFunc(b.info, call)
+	if fn == nil {
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if bi, ok := b.info.Uses[id].(*types.Builtin); ok && bi.Name() == "append" {
+				if call.Ellipsis.IsValid() {
+					// append(dst, src...) copies src's elements; the
+					// result aliases only dst's backing array.
+					return b.exprBorrow(call.Args[0], s)
+				}
+				var m borrowMark
+				for _, a := range call.Args {
+					m |= b.exprBorrow(a, s)
+				}
+				return m
+			}
+		}
+		return 0
+	}
+	if funcIs(fn, "bytes", "", "Clone") || funcIs(fn, "strings", "", "Clone") || funcIs(fn, "slices", "", "Clone") {
+		return 0
+	}
+	// View accessor methods handing out mapped sections.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+		isViewType(sig.Recv().Type()) && sig.Results().Len() == 1 &&
+		aliasesBytes(sig.Results().At(0).Type()) && len(args) > 0 {
+		return viewBorrow | b.exprBorrow(args[0], s) | s[rootObj(b.info, args[0])]
+	}
+	if sum := b.sums.borrow(fn); sum != nil {
+		var m borrowMark
+		for i, br := range sum.Borrows {
+			if br && i < len(args) {
+				m |= b.exprBorrow(args[i], s)
+				if isViewType(b.info.TypeOf(args[i])) {
+					m |= viewBorrow
+					m |= s[rootObj(b.info, args[i])]
+				}
+			}
+		}
+		return m
+	}
+	// Unknown callees are assumed to copy what they need.
+	return 0
+}
+
+// storeViolation classifies an lvalue that must not receive borrowed
+// bytes, returning a description or "".
+func (b *borrowEngine) storeViolation(lv ast.Expr) string {
+	if id, ok := unparen(lv).(*ast.Ident); ok {
+		obj := b.info.ObjectOf(id)
+		if obj != nil && b.pkg != nil && obj.Parent() == b.pkg.Scope() {
+			return "a package-level variable"
+		}
+		return ""
+	}
+	root := rootObj(b.info, lv)
+	if root == nil {
+		return ""
+	}
+	if obj, ok := root.(*types.Var); ok && b.params[obj] && !isViewType(obj.Type()) {
+		return "a caller-visible field"
+	}
+	if b.pkg != nil && root.Parent() == b.pkg.Scope() {
+		return "a package-level structure"
+	}
+	return ""
+}
+
+func (b *borrowEngine) transfer(n ast.Node, s borrowState) borrowState {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		b.assign(n.Lhs, n.Rhs, s)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, name := range vs.Names {
+						lhs[i] = name
+					}
+					b.assign(lhs, vs.Values, s)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		m := b.exprBorrow(n.X, s)
+		for _, kv := range []ast.Expr{n.Key, n.Value} {
+			if kv != nil && m != 0 {
+				b.setMark(kv, m, s)
+			}
+		}
+	}
+	return s
+}
+
+func (b *borrowEngine) setMark(lv ast.Expr, m borrowMark, s borrowState) {
+	if id, ok := unparen(lv).(*ast.Ident); ok {
+		obj := b.info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if m == 0 {
+			delete(s, obj)
+		} else {
+			s[obj] = m
+		}
+		return
+	}
+	if m != 0 {
+		if o := rootObj(b.info, lv); o != nil {
+			s[o] |= m
+		}
+	}
+}
+
+func (b *borrowEngine) assign(lhs, rhs []ast.Expr, s borrowState) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		m := b.exprBorrow(rhs[0], s)
+		for _, l := range lhs {
+			b.setMark(l, m, s)
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i < len(rhs) {
+			b.setMark(l, b.exprBorrow(rhs[i], s), s)
+		}
+	}
+}
+
+func (b *borrowEngine) flow() cfg.Flow[borrowState] {
+	clone := func(s borrowState) borrowState {
+		out := make(borrowState, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	}
+	return cfg.Flow[borrowState]{
+		Entry:    borrowState{},
+		Transfer: b.transfer,
+		Clone:    clone,
+		Join: func(a, c borrowState) borrowState {
+			out := clone(a)
+			for k, v := range c {
+				out[k] |= v
+			}
+			return out
+		},
+		Equal: func(a, c borrowState) bool {
+			if len(a) != len(c) {
+				return false
+			}
+			for k, v := range a {
+				if c[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// checkNode reports escapes of borrowed bytes under the pre-state s; when
+// retain is non-nil it records operand attribution bits instead of
+// reporting (summary mode).
+func (b *borrowEngine) checkNode(pass *Pass, n ast.Node, s borrowState, reported map[token.Pos]bool, retain func(borrowMark)) {
+	report := func(pos token.Pos, m borrowMark, what string) {
+		if m == 0 {
+			return
+		}
+		if retain != nil {
+			retain(m)
+			return
+		}
+		if m&viewBorrow == 0 || reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, "mapped view bytes stored in %s outlive the view's release scope and dangle after cache eviction; copy them first", what)
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, l := range n.Lhs {
+			what := b.storeViolation(l)
+			if what == "" {
+				continue
+			}
+			var m borrowMark
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				m = b.exprBorrow(n.Rhs[0], s)
+			} else if i < len(n.Rhs) {
+				m = b.exprBorrow(n.Rhs[i], s)
+			}
+			report(l.Pos(), m, what)
+		}
+	case *ast.SendStmt:
+		report(n.Value.Pos(), b.exprBorrow(n.Value, s), "a channel send")
+	case *ast.GoStmt:
+		var m borrowMark
+		ast.Inspect(n, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				m |= s[b.info.ObjectOf(id)]
+			}
+			return true
+		})
+		report(n.Pos(), m, "a goroutine capture")
+	default:
+		scanShallow(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, args := calleeFunc(b.info, call)
+			if sum := b.sums.borrow(fn); sum != nil {
+				for i, rt := range sum.Retains {
+					if rt && i < len(args) {
+						report(args[i].Pos(), b.exprBorrow(args[i], s), "a retaining callee")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFunc analyzes one function frame.
+func (b *borrowEngine) checkFunc(pass *Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	f := b.flow()
+	ins := cfg.Forward(g, f)
+	reported := map[token.Pos]bool{}
+	for _, blk := range g.Blocks {
+		s, ok := ins[blk]
+		if !ok {
+			continue
+		}
+		s = f.Clone(s)
+		for _, n := range blk.Nodes {
+			b.checkNode(pass, n, s, reported, nil)
+			s = b.transfer(n, s)
+		}
+	}
+}
+
+// frameParams collects the caller-visible roots of a function: receiver
+// and parameters.
+func frameParams(info *types.Info, recv *ast.FieldList, ft *ast.FuncType) map[types.Object]bool {
+	params := map[types.Object]bool{}
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if o := info.ObjectOf(name); o != nil {
+					params[o] = true
+				}
+			}
+		}
+	}
+	addList(recv)
+	addList(ft.Params)
+	return params
+}
+
+func runViewLife(pass *Pass) error {
+	if !pass.InScope() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var recv *ast.FieldList
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				recv, ft, body = n.Recv, n.Type, n.Body
+			case *ast.FuncLit:
+				ft, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			b := &borrowEngine{
+				info:   pass.Info,
+				sums:   pass.summaries(),
+				params: frameParams(pass.Info, recv, ft),
+				pkg:    pass.Pkg,
+			}
+			b.checkFunc(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// A borrowSummary describes how mapped bytes move through one module
+// function.
+type borrowSummary struct {
+	// Borrows[i] reports that the result aliases operand i's mapped
+	// bytes (View accessors, parsers returning index structures over the
+	// mapped payload).
+	Borrows []bool
+	// Retains[i] reports that operand i's bytes are stored beyond the
+	// call (the violation, pushed to the call site).
+	Retains []bool
+}
+
+func computeBorrowSummary(sums *summaries, fn *types.Func, src FuncSource) *borrowSummary {
+	ops := operandVars(fn)
+	sum := &borrowSummary{
+		Borrows: make([]bool, len(ops)),
+		Retains: make([]bool, len(ops)),
+	}
+	decl := src.Decl
+	b := &borrowEngine{
+		info:   src.Info,
+		sums:   sums,
+		params: frameParams(src.Info, decl.Recv, decl.Type),
+		pkg:    fn.Pkg(),
+	}
+
+	entry := borrowState{}
+	for i, v := range ops {
+		if i >= 31 {
+			break
+		}
+		if aliasesBytes(v.Type()) || isViewType(v.Type()) {
+			entry[v] = 1 << uint(i)
+		}
+	}
+	markBits := func(m borrowMark, dst []bool) {
+		for i := range dst {
+			if i < 31 && m&(1<<uint(i)) != 0 {
+				dst[i] = true
+			}
+		}
+	}
+
+	g := cfg.New(decl.Body)
+	f := b.flow()
+	f.Entry = entry
+	ins := cfg.Forward(g, f)
+	for _, blk := range g.Blocks {
+		s, ok := ins[blk]
+		if !ok {
+			continue
+		}
+		s = f.Clone(s)
+		for _, n := range blk.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				for _, r := range ret.Results {
+					markBits(b.exprBorrow(r, s), sum.Borrows)
+				}
+			}
+			b.checkNode(nil, n, s, nil, func(m borrowMark) { markBits(m, sum.Retains) })
+			s = b.transfer(n, s)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestViewLife drives viewlife over mapped-view fixtures: borrows stored
+// into globals, channels, goroutines, caller-visible fields, and
+// retaining callees (interprocedural, via Retains summaries) are flagged;
+// copies, returns, and view-internal stores are accepted.
+func TestViewLife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.ViewLife, "vlife/a")
+}

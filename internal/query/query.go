@@ -606,6 +606,22 @@ func GroupColumns() []string {
 	return []string{"manufacturer", "tag", "category", "road", "weather", "modality", "month"}
 }
 
+// groupColumns is the full set of columns GroupCount accepts: the typed
+// GroupColumns plus the EventsFrame columns the dataframe fallback can
+// group (core.DB.EventsFrame owns that list).
+var groupColumns = map[string]bool{
+	"manufacturer": true, "tag": true, "category": true, "road": true,
+	"weather": true, "modality": true, "month": true,
+	"vehicle": true, "reportYear": true, "cause": true,
+	"time": true, "reactionSeconds": true,
+}
+
+// IsGroupColumn reports whether by is a column GroupCount can group by.
+// Handlers validate request parameters with it before paying for a study
+// build: a garbage ?by= must fail in microseconds, not after a full
+// pipeline run (the taintflow analyzer enforces this ordering).
+func IsGroupColumn(by string) bool { return groupColumns[by] }
+
 // GroupCount counts matching events per value of the named column, most
 // frequent first (ties broken by key). "month" groups by the event's
 // "YYYY-MM"; any other column present in the underlying frame (e.g.

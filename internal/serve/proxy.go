@@ -29,6 +29,7 @@ type Proxy struct {
 	replicas int
 	rt       http.RoundTripper
 	metrics  *proxyMetrics
+	debugf   func(format string, args ...any)
 	cursor   atomic.Uint64 // round-robin spill across a seed's replicas
 	mux      *http.ServeMux
 }
@@ -46,6 +47,9 @@ type ProxyConfig struct {
 	// disables transparent compression so negotiated encodings relay
 	// between client and backend untouched.
 	Transport http.RoundTripper
+	// Debugf, when set, receives operational debug lines (mid-stream relay
+	// failures and the like). nil means silent.
+	Debugf func(format string, args ...any)
 }
 
 // NewProxy builds the sharding proxy.
@@ -78,11 +82,16 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 			IdleConnTimeout:     90 * time.Second,
 		}
 	}
+	debugf := cfg.Debugf
+	if debugf == nil {
+		debugf = func(string, ...any) {}
+	}
 	p := &Proxy{
 		ring:     newHashRing(backends),
 		replicas: k,
 		rt:       rt,
 		metrics:  newProxyMetrics(),
+		debugf:   debugf,
 		mux:      http.NewServeMux(),
 	}
 	p.mux.HandleFunc("GET /healthz", p.handleHealthz)
@@ -143,7 +152,7 @@ func (p *Proxy) handleForward(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		relayResponse(w, resp)
+		p.relayResponse(w, resp, r.URL.Path)
 		return
 	}
 	writeError(w, http.StatusBadGateway,
@@ -168,7 +177,7 @@ func (p *Proxy) roundTrip(backend string, r *http.Request) (*http.Response, erro
 }
 
 // relayResponse copies the backend's response to the client verbatim.
-func relayResponse(w http.ResponseWriter, resp *http.Response) {
+func (p *Proxy) relayResponse(w http.ResponseWriter, resp *http.Response, path string) {
 	defer resp.Body.Close()
 	stripHopByHop(resp.Header)
 	h := w.Header()
@@ -179,9 +188,15 @@ func relayResponse(w http.ResponseWriter, resp *http.Response) {
 	}
 	w.WriteHeader(resp.StatusCode)
 	// A copy failure here means the client went away or the backend died
-	// mid-stream; the status is already on the wire, so there is nothing
-	// coherent left to send.
-	_, _ = io.Copy(w, resp.Body)
+	// mid-stream. The status is already on the wire, so there is nothing
+	// coherent left to send the client — but a silently truncated body is
+	// exactly the kind of failure that otherwise only surfaces as a
+	// checksum mismatch three hops later, so it is counted and logged
+	// rather than dropped.
+	if n, err := io.Copy(w, resp.Body); err != nil {
+		p.metrics.bumpCopyErrors()
+		p.debugf("proxy: relay of %s truncated after %d bytes: %v", path, n, err)
+	}
 }
 
 // hopByHopHeaders are connection-scoped per RFC 9110 §7.6.1 and must not
@@ -298,6 +313,10 @@ type proxyMetrics struct {
 	requests map[string]int64 // forward attempts per backend
 	errors   map[string]int64 // transport failures per backend
 	retries  int64            // failovers to a next replica
+	// copyErrors counts mid-stream relay failures: the backend's status
+	// was already committed to the client when the body copy broke, so
+	// the client saw a truncated response that no status rewrite can fix.
+	copyErrors int64
 }
 
 // newProxyMetrics creates an empty registry.
@@ -327,6 +346,13 @@ func (m *proxyMetrics) bumpRetries() {
 	m.mu.Unlock()
 }
 
+// bumpCopyErrors counts one mid-stream relay failure.
+func (m *proxyMetrics) bumpCopyErrors() {
+	m.mu.Lock()
+	m.copyErrors++
+	m.mu.Unlock()
+}
+
 // writeText renders the counters in Prometheus text format with
 // deterministic ordering.
 func (m *proxyMetrics) writeText(w io.Writer) {
@@ -340,6 +366,7 @@ func (m *proxyMetrics) writeText(w io.Writer) {
 		errCounts[k] = v
 	}
 	retries := m.retries
+	copyErrors := m.copyErrors
 	m.mu.Unlock()
 
 	writeBackendCounter := func(name, help string, counts map[string]int64) {
@@ -359,4 +386,6 @@ func (m *proxyMetrics) writeText(w io.Writer) {
 		"Transport-level forwarding failures per backend.", errCounts)
 	fmt.Fprintf(w, "# HELP avserve_proxy_retries_total Failovers to a seed's next replica after a transport failure.\n")
 	fmt.Fprintf(w, "# TYPE avserve_proxy_retries_total counter\navserve_proxy_retries_total %d\n", retries)
+	fmt.Fprintf(w, "# HELP avserve_proxy_copy_errors_total Mid-stream relay failures after the status was committed (client saw a truncated body).\n")
+	fmt.Fprintf(w, "# TYPE avserve_proxy_copy_errors_total counter\navserve_proxy_copy_errors_total %d\n", copyErrors)
 }

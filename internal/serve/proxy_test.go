@@ -169,8 +169,13 @@ func TestProxyRetryOnConnectionFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// One fixed seed, several requests: its two owners are the dead and
+	// live backends, and the round-robin spill cursor alternates which is
+	// tried first, so the dead one is provably hit regardless of where the
+	// ephemeral ports land on the hash ring (distinct seeds could all
+	// round-robin onto the live owner first).
 	for i := 0; i < 8; i++ {
-		rec := getFull(t, p, fmt.Sprintf("/v1/studies/%d/disengagements", i), nil)
+		rec := getFull(t, p, "/v1/studies/1/disengagements", nil)
 		if rec.Code != http.StatusOK {
 			t.Fatalf("request %d code = %d (%s)", i, rec.Code, rec.Body.String())
 		}
@@ -288,5 +293,74 @@ func TestProxyEndToEndStudies(t *testing.T) {
 	defer cond.Body.Close()
 	if cond.StatusCode != http.StatusNotModified {
 		t.Errorf("conditional through proxy = %d, want 304", cond.StatusCode)
+	}
+}
+
+// brokenBody yields a few bytes and then a read error, simulating a
+// backend dying mid-stream after the status has been committed.
+type brokenBody struct{ sent bool }
+
+func (b *brokenBody) Read(p []byte) (int, error) {
+	if !b.sent {
+		b.sent = true
+		return copy(p, "partial"), nil
+	}
+	return 0, fmt.Errorf("backend reset mid-stream")
+}
+
+func (b *brokenBody) Close() error { return nil }
+
+// brokenTransport always answers 200 with a body that breaks mid-copy.
+type brokenTransport struct{}
+
+func (brokenTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{},
+		Body:       &brokenBody{},
+	}, nil
+}
+
+// TestProxyCopyErrorCounted: a relay that breaks after the status is on
+// the wire cannot be turned into an error response, but it must not
+// vanish either — the copy-errors counter and the debug log record it.
+func TestProxyCopyErrorCounted(t *testing.T) {
+	var logged []string
+	p, err := NewProxy(ProxyConfig{
+		Backends:  []string{"http://backend"},
+		Transport: brokenTransport{},
+		Debugf: func(format string, args ...any) {
+			logged = append(logged, fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := getFull(t, p, "/v1/studies/1/disengagements", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d, want 200 (status was committed before the break)", rec.Code)
+	}
+	if got := rec.Body.String(); got != "partial" {
+		t.Errorf("client saw body %q, want the partial prefix", got)
+	}
+	metrics := getFull(t, p, "/metrics", nil).Body.String()
+	if !strings.Contains(metrics, "avserve_proxy_copy_errors_total 1") {
+		t.Errorf("copy-errors counter missing or wrong:\n%s", metrics)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "truncated after 7 bytes") {
+		t.Errorf("debug log = %v, want one truncation line", logged)
+	}
+}
+
+// TestProxyCleanRelayNotCounted: an intact relay leaves the counter at
+// zero — the metric measures broken streams, not traffic.
+func TestProxyCleanRelayNotCounted(t *testing.T) {
+	p, _ := newEchoProxy(t, 1, 1)
+	if rec := getFull(t, p, "/v1/studies/1/disengagements", nil); rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	metrics := getFull(t, p, "/metrics", nil).Body.String()
+	if !strings.Contains(metrics, "avserve_proxy_copy_errors_total 0") {
+		t.Errorf("counter should be zero:\n%s", metrics)
 	}
 }

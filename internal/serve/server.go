@@ -394,6 +394,11 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 			"missing by parameter: want one of %s", strings.Join(query.GroupColumns(), ", "))
 		return
 	}
+	if !query.IsGroupColumn(by) {
+		writeError(w, http.StatusBadRequest,
+			"unknown group-by column %q: want one of %s", by, strings.Join(query.GroupColumns(), ", "))
+		return
+	}
 	study, ok := s.study(w, r)
 	if !ok {
 		return
