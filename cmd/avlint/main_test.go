@@ -146,6 +146,8 @@ func TestJSONOutput(t *testing.T) {
 		"resleak":   "leak.go",
 		"taintflow": "taint.go",
 		"viewlife":  "view.go",
+		"lockorder": "lockord.go",
+		"atomicmix": "amix.go",
 	}
 	got := map[string]string{}
 	for _, f := range report.Findings {
@@ -177,7 +179,7 @@ func TestJSONOutputCleanTree(t *testing.T) {
 	dirty := filepath.Join(repoRoot(t), "cmd", "avlint", "testdata", "dirty")
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"-C", dirty, "-json",
-		"-disable", "errsubstr,resleak,taintflow,viewlife", "./..."}, &stdout, &stderr)
+		"-disable", "errsubstr,resleak,taintflow,viewlife,lockorder,atomicmix", "./..."}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exited %d, want 0\nstderr: %s", code, stderr.String())
 	}
@@ -254,6 +256,33 @@ func TestEscapeWorkflowCommand(t *testing.T) {
 	}
 	if got := escapeProperty("a:b,c%d"); got != "a%3Ab%2Cc%25d" {
 		t.Errorf("escapeProperty = %q", got)
+	}
+}
+
+// TestCacheOutputByteIdentical pins cache soundness at the CLI layer: an
+// uncached run, a cold -cache-dir run, and a fully-warm run over the dirty
+// fixture must produce byte-identical stdout — the cache may change how
+// fast the answer arrives, never the answer.
+func TestCacheOutputByteIdentical(t *testing.T) {
+	dirty := filepath.Join(repoRoot(t), "cmd", "avlint", "testdata", "dirty")
+	cache := t.TempDir()
+
+	runOnce := func(args ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 1 {
+			t.Fatalf("avlint %v exited %d, want 1\nstderr: %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	uncached := runOnce("-C", dirty, "./...")
+	cold := runOnce("-C", dirty, "-cache-dir", cache, "./...")
+	warm := runOnce("-C", dirty, "-cache-dir", cache, "./...")
+	if cold != uncached {
+		t.Errorf("cold cached stdout differs from uncached:\ncached:\n%s\nuncached:\n%s", cold, uncached)
+	}
+	if warm != uncached {
+		t.Errorf("warm cached stdout differs from uncached:\ncached:\n%s\nuncached:\n%s", warm, uncached)
 	}
 }
 

@@ -1,0 +1,18 @@
+package dirty
+
+import "sync/atomic"
+
+// tally mixes atomic and plain access — the stable atomicmix finding the
+// output-mode tests assert on: Add updates n through sync/atomic, Read
+// returns it as a plain value with no lock held.
+type tally struct {
+	n int64
+}
+
+func (t *tally) Add() {
+	atomic.AddInt64(&t.n, 1)
+}
+
+func (t *tally) Read() int64 {
+	return t.n
+}

@@ -1,0 +1,24 @@
+package dirty
+
+import "sync"
+
+// gate reacquires its own mutex through a helper — the stable lockorder
+// finding the output-mode tests assert on: incr holds g.mu when it calls
+// raw, which locks g.mu again.
+type gate struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *gate) raw() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Incr deadlocks: g.mu is held across the g.raw() call.
+func (g *gate) Incr() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.raw()
+}

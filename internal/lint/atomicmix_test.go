@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestAtomicMix drives atomicmix over mixed-access fixtures: plain reads,
+// read-modify-writes, and typed-atomic copies of atomically-updated state
+// are flagged — including a field whose only atomic updater lives in the
+// amix/b dependency — while mutex-guarded reads, method-based typed-atomic
+// use, plain initialization writes, and atomics on joined locals are
+// accepted.
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.AtomicMix, "amix/a")
+}

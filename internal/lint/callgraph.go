@@ -189,17 +189,26 @@ type summaries struct {
 	tntBusy map[*types.Func]bool
 	brw     map[*types.Func]*borrowSummary
 	brwBusy map[*types.Func]bool
+	lck     map[*types.Func]*lockSummary
+	lckBusy map[*types.Func]bool
+
+	// lockNames records a stable display name per lock object, captured at
+	// the first (deterministic, source-ordered) resolution of each lock.
+	lockNames map[*types.Var]string
 }
 
 func newSummaries(ix *FuncIndex) *summaries {
 	return &summaries{
-		ix:      ix,
-		rel:     map[*types.Func]*relSummary{},
-		relBusy: map[*types.Func]bool{},
-		tnt:     map[*types.Func]*taintSummary{},
-		tntBusy: map[*types.Func]bool{},
-		brw:     map[*types.Func]*borrowSummary{},
-		brwBusy: map[*types.Func]bool{},
+		ix:        ix,
+		rel:       map[*types.Func]*relSummary{},
+		relBusy:   map[*types.Func]bool{},
+		tnt:       map[*types.Func]*taintSummary{},
+		tntBusy:   map[*types.Func]bool{},
+		brw:       map[*types.Func]*borrowSummary{},
+		brwBusy:   map[*types.Func]bool{},
+		lck:       map[*types.Func]*lockSummary{},
+		lckBusy:   map[*types.Func]bool{},
+		lockNames: map[*types.Var]string{},
 	}
 }
 
@@ -272,6 +281,32 @@ func (s *summaries) borrow(fn *types.Func) *borrowSummary {
 	sum := computeBorrowSummary(s, fn, src)
 	delete(s.brwBusy, fn)
 	s.brw[fn] = sum
+	return sum
+}
+
+// lock returns fn's lock-acquisition summary under the same contract as
+// release: nil for unknown callees (no source, or an SCC mate
+// mid-computation), which lockorder treats as "acquires nothing" — the
+// false-negative direction, never a spurious deadlock report.
+func (s *summaries) lock(fn *types.Func) *lockSummary {
+	if s == nil || fn == nil {
+		return nil
+	}
+	fn = fn.Origin()
+	if sum, ok := s.lck[fn]; ok {
+		return sum
+	}
+	if s.lckBusy[fn] {
+		return nil
+	}
+	src, ok := s.ix.Source(fn)
+	if !ok {
+		return nil
+	}
+	s.lckBusy[fn] = true
+	sum := computeLockSummary(s, fn, src)
+	delete(s.lckBusy, fn)
+	s.lck[fn] = sum
 	return sum
 }
 

@@ -11,8 +11,8 @@ import (
 // resolvable through ByName.
 func TestAllAnalyzers(t *testing.T) {
 	all := lint.All()
-	if len(all) < 11 {
-		t.Fatalf("suite has %d analyzers, want at least 11", len(all))
+	if len(all) < 13 {
+		t.Fatalf("suite has %d analyzers, want at least 13", len(all))
 	}
 	seen := map[string]bool{}
 	var names []string
@@ -30,6 +30,7 @@ func TestAllAnalyzers(t *testing.T) {
 		"mapiter", "errsubstr", "nondeterm", "exhaustive-category",
 		"lockcheck", "goroleak", "ctxflow", "httpresp",
 		"resleak", "taintflow", "viewlife",
+		"lockorder", "atomicmix",
 	} {
 		if !seen[want] {
 			t.Errorf("suite %v is missing %q", names, want)

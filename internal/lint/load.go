@@ -75,10 +75,29 @@ type FuncSource struct {
 type FuncIndex struct {
 	mu    sync.RWMutex
 	funcs map[*types.Func]FuncSource
+	// paths lists each package's indexed functions in declaration order,
+	// so module-scope analyzers (lockorder, atomicmix) can iterate every
+	// source-checked function of a dependency deterministically.
+	paths map[string][]*types.Func
 }
 
 func newFuncIndex() *FuncIndex {
-	return &FuncIndex{funcs: map[*types.Func]FuncSource{}}
+	return &FuncIndex{
+		funcs: map[*types.Func]FuncSource{},
+		paths: map[string][]*types.Func{},
+	}
+}
+
+// FuncsIn returns the indexed functions declared in the package with the
+// given import path, in declaration (file, source) order. Nil when the
+// path was not source-checked by this loader.
+func (ix *FuncIndex) FuncsIn(path string) []*types.Func {
+	if ix == nil {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.paths[path]
 }
 
 // Source returns the declaration of fn, if the loader checked it from
@@ -107,12 +126,14 @@ func (ix *FuncIndex) record(path string, files []*ast.File, info *types.Info) {
 			}
 			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
 				ix.funcs[fn] = FuncSource{Decl: fd, Info: info, Path: path}
+				ix.paths[path] = append(ix.paths[path], fn)
 			}
 		}
 	}
 }
 
-// listedPkg is the subset of `go list -json` output the loader consumes.
+// listedPkg is the subset of `go list -json` output the loader and the
+// findings cache consume.
 type listedPkg struct {
 	ImportPath   string
 	Dir          string
@@ -120,6 +141,9 @@ type listedPkg struct {
 	GoFiles      []string
 	TestGoFiles  []string
 	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
 	Standard     bool
 }
 

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"avfda/internal/lint"
+	"avfda/internal/lint/analysistest"
+)
+
+// TestLockOrder drives lockorder over ordering fixtures: opposite-order
+// acquisition of two mutexes — direct, through a helper's summary, and
+// across the lockord/b package boundary — is flagged as a cycle, and
+// same-instance reacquisition through a method chain as a self-deadlock.
+// Consistent ordering, sequential critical sections, and hand-over-hand
+// child-instance locking are accepted.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lint.LockOrder, "lockord/a")
+}

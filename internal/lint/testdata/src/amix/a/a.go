@@ -1,0 +1,103 @@
+// Package a exercises atomicmix: fields and package variables updated
+// through sync/atomic must not be read — or read-modify-written — as
+// plain values elsewhere, and typed atomics must not be copied. Accepted:
+// access under a mutex, plain access to never-atomic fields, typed-atomic
+// method calls, plain initialization writes, and atomics on locals
+// (the goroutine-then-join idiom).
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"amix/b"
+)
+
+type Counter struct {
+	mu   sync.Mutex
+	hits int64
+	cold int64
+	flag atomic.Bool
+}
+
+// Incr is the atomic updater that marks the hits field.
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Snapshot reads hits plainly with no lock held: a torn-read candidate.
+func (c *Counter) Snapshot() int64 {
+	return c.hits // want `\(a\.Counter\)\.hits is updated atomically \(atomic\.AddInt64 at a\.go:\d+\) but accessed as a plain value`
+}
+
+// Guarded reads hits under the mutex — the "one mutex at every access"
+// escape hatch the diagnostic names.
+func (c *Counter) Guarded() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Bump is a plain read-modify-write of an atomically-updated field: the
+// increment both reads and writes without atomicity.
+func (c *Counter) Bump() {
+	c.hits++ // want `\(a\.Counter\)\.hits is updated atomically .* but accessed as a plain value`
+}
+
+// Reset writes through plain assignment — the initialization idiom, a
+// documented false negative, accepted.
+func (c *Counter) Reset() {
+	c.hits = 0
+}
+
+// ColdPath touches a field no code updates atomically: plain access is
+// the normal case and must stay silent.
+func (c *Counter) ColdPath() int64 {
+	return c.cold
+}
+
+// FlagCopy copies a typed atomic by value — flagged on the type alone, no
+// marker needed.
+func (c *Counter) FlagCopy() bool {
+	f := c.flag // want `\(a\.Counter\)\.flag has atomic type atomic\.Bool; copying the value races`
+	return f.Load()
+}
+
+// FlagOK drives the typed atomic through its methods — accepted.
+func (c *Counter) FlagOK() bool {
+	return c.flag.Load()
+}
+
+var total int64
+
+func AddTotal() {
+	atomic.AddInt64(&total, 1)
+}
+
+// ReadTotal reads the package variable plainly; the marker came from
+// AddTotal.
+func ReadTotal() int64 {
+	return total // want `a\.total is updated atomically \(atomic\.AddInt64 at a\.go:\d+\) but accessed as a plain value`
+}
+
+// Cross reads a field whose only atomic updater lives in package b: the
+// marker is visible solely through the module-wide sweep.
+func Cross() int64 {
+	return b.Shared.N // want `\(b\.Box\)\.N is updated atomically \(atomic\.AddInt64 at b\.go:\d+\) but accessed as a plain value`
+}
+
+// LocalJoin updates a local atomically inside a goroutine and reads it
+// plainly after the join — locals never become markers (documented false
+// negative: the analysis cannot see the wg.Wait happens-before edge, so
+// it must not guess).
+func LocalJoin() int64 {
+	var n int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		atomic.AddInt64(&n, 1)
+	}()
+	wg.Wait()
+	return n
+}

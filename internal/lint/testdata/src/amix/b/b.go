@@ -1,0 +1,17 @@
+// Package b supplies amix's cross-package evidence: Box.N is updated
+// atomically only here, so a plain read in package a is diagnosable only
+// through the module-wide marker sweep.
+package b
+
+import "sync/atomic"
+
+type Box struct {
+	N int64
+}
+
+var Shared Box
+
+// Touch is the sole atomic updater of Shared.N in the module.
+func Touch() {
+	atomic.AddInt64(&Shared.N, 1)
+}

@@ -1,0 +1,126 @@
+// Package a exercises lockorder: opposite-order acquisition of two
+// mutexes — direct, through a helper call, and across a package boundary —
+// is flagged as a lock-ordering cycle, and provable same-instance
+// reacquisition through a method chain is flagged as a self-deadlock.
+// Consistent ordering, release-before-acquire, and child-under-parent
+// instance locking are accepted.
+package a
+
+import (
+	"sync"
+
+	"lockord/b"
+)
+
+var muA, muB sync.Mutex
+
+// TakeAB and TakeBA acquire the same two mutexes in opposite orders — the
+// classic two-goroutine deadlock, both halves in one package.
+func TakeAB() {
+	muA.Lock()
+	muB.Lock() // want `acquiring a\.muB while holding a\.muA \(acquired at line \d+\) creates the lock-ordering cycle a\.muA → a\.muB → a\.muA`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func TakeBA() {
+	muB.Lock()
+	muA.Lock() // want `acquiring a\.muA while holding a\.muB \(acquired at line \d+\) creates the lock-ordering cycle a\.muB → a\.muA → a\.muB`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var muC, muD sync.Mutex
+
+// lockD hides the muD acquisition behind a call: the C→D edge below is
+// visible only through lockD's summary, never syntactically in TakeCD.
+func lockD() {
+	muD.Lock()
+}
+
+func TakeCD() {
+	muC.Lock()
+	lockD() // want `call to a\.lockD acquires a\.muD \(at a\.go:\d+\) while a\.muC is held \(acquired at line \d+\), creating the lock-ordering cycle a\.muC → a\.muD → a\.muC`
+	muD.Unlock()
+	muC.Unlock()
+}
+
+// TakeDC closes the cycle directly, in the opposite order.
+func TakeDC() {
+	muD.Lock()
+	muC.Lock() // want `acquiring a\.muC while holding a\.muD \(acquired at line \d+\) creates the lock-ordering cycle a\.muD → a\.muC → a\.muD`
+	muC.Unlock()
+	muD.Unlock()
+}
+
+// Counter reacquires its own mutex through a helper: Incr holds c.mu and
+// calls bump, which locks c.mu again — proved same-instance through the
+// receiver access path, a guaranteed self-deadlock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want `call to \(a\.Counter\)\.bump reacquires \(a\.Counter\)\.mu \(at a\.go:\d+\) already held since line \d+: sync mutexes are not reentrant`
+}
+
+// CrossPackage witnesses only half of its cycle: it acquires b.MuY
+// (through the b.LockY helper) while holding b.MuX; the reverse order
+// lives in package b's YThenX, visible only in the module-wide graph.
+func CrossPackage() {
+	b.MuX.Lock()
+	b.LockY() // want `call to b\.LockY acquires b\.MuY \(at b\.go:\d+\) while b\.MuX is held \(acquired at line \d+\), creating the lock-ordering cycle b\.MuX → b\.MuY → b\.MuX`
+	b.UnlockY()
+	b.MuX.Unlock()
+}
+
+// Node locks a child's mutex under its parent's — the same lock class on
+// provably different instances (paths n.mu vs n.next.mu), which must be
+// accepted or every hand-over-hand traversal would be flagged.
+type Node struct {
+	mu   sync.Mutex
+	next *Node
+}
+
+func Walk(n *Node) {
+	n.mu.Lock()
+	if n.next != nil {
+		n.next.mu.Lock()
+		n.next.mu.Unlock()
+	}
+	n.mu.Unlock()
+}
+
+var muE, muF sync.Mutex
+
+// First and Second take muE before muF everywhere: edges, but no cycle.
+func First() {
+	muE.Lock()
+	muF.Lock()
+	muF.Unlock()
+	muE.Unlock()
+}
+
+func Second() {
+	muE.Lock()
+	defer muE.Unlock()
+	muF.Lock()
+	muF.Unlock()
+}
+
+// Sequential never overlaps the two critical sections: no ordering edge.
+func Sequential() {
+	muE.Lock()
+	muE.Unlock()
+	muF.Lock()
+	muF.Unlock()
+}

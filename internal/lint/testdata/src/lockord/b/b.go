@@ -1,0 +1,30 @@
+// Package b supplies the dependency half of lockord's cross-package
+// cycle: YThenX acquires MuX while holding MuY — the reverse of the order
+// package a uses — and LockY is the helper a calls while holding MuX.
+// Nothing here carries a want comment: b is loaded only as a dependency,
+// so its edges surface through package a's module-wide graph.
+package b
+
+import "sync"
+
+var (
+	MuX sync.Mutex
+	MuY sync.Mutex
+)
+
+// LockY hides the MuY acquisition behind a package boundary.
+func LockY() {
+	MuY.Lock()
+}
+
+func UnlockY() {
+	MuY.Unlock()
+}
+
+// YThenX is the reverse-order half of the cross-package cycle.
+func YThenX() {
+	MuY.Lock()
+	MuX.Lock()
+	MuX.Unlock()
+	MuY.Unlock()
+}
